@@ -1,0 +1,225 @@
+// Package servicefridge_test is the benchmark harness: one benchmark per
+// table and figure of the paper (regenerating the artifact end to end),
+// ablation benchmarks for the design choices called out in DESIGN.md, and
+// microbenchmarks for the hot paths of the simulator and the MCF
+// calculator.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package servicefridge_test
+
+import (
+	"testing"
+	"time"
+
+	"servicefridge/internal/app"
+	"servicefridge/internal/cluster"
+	"servicefridge/internal/core"
+	"servicefridge/internal/engine"
+	"servicefridge/internal/experiments"
+	"servicefridge/internal/fridge"
+	"servicefridge/internal/metrics"
+	"servicefridge/internal/sim"
+)
+
+// sinkTables prevents dead-code elimination of experiment results.
+var sinkTables []*metrics.Table
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkTables = e.Run(1)
+	}
+	if len(sinkTables) == 0 || sinkTables[0].NumRows() == 0 {
+		b.Fatalf("%s produced no data", id)
+	}
+}
+
+// One benchmark per paper artifact (Table 2, Figures 3-7, Table 4,
+// Figures 11-16, headline claims).
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkFigure3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkTable4(b *testing.B)   { benchExperiment(b, "table4") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFigure15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFigure16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkHeadline(b *testing.B) { benchExperiment(b, "headline") }
+
+// Extension studies (EXPERIMENTS.md "Extensions" section).
+func BenchmarkExtScaleOut(b *testing.B) { benchExperiment(b, "ext-scale") }
+func BenchmarkExtOpenLoop(b *testing.B) { benchExperiment(b, "ext-openloop") }
+
+// ---------------------------------------------------------------------
+// Ablation benchmarks: each reports the region-A mean response time (ms)
+// at an 80% budget so the contribution of individual ServiceFridge design
+// choices is visible in the -bench output.
+
+func ablationConfig(seed uint64) engine.Config {
+	return engine.Config{
+		Seed:           seed,
+		Scheme:         engine.ServiceFridge,
+		BudgetFraction: 0.8,
+		PoolWorkers:    map[string]int{"A": 25, "B": 25},
+		Warmup:         5 * time.Second,
+		Duration:       15 * time.Second,
+	}
+}
+
+func runAblation(b *testing.B, tune func(*fridge.Fridge), startup time.Duration) {
+	b.Helper()
+	b.ReportAllocs()
+	var meanA, meanB float64
+	for i := 0; i < b.N; i++ {
+		cfg := ablationConfig(1)
+		cfg.Tune = tune
+		cfg.StartupDelay = startup
+		res := engine.Run(cfg)
+		meanA = metrics.Ms(res.Summary("A").Mean)
+		meanB = metrics.Ms(res.Summary("B").Mean)
+	}
+	b.ReportMetric(meanA, "meanA-ms")
+	b.ReportMetric(meanB, "meanB-ms")
+}
+
+// BenchmarkAblationFull is the reference: the complete ServiceFridge.
+func BenchmarkAblationFull(b *testing.B) { runAblation(b, nil, 0) }
+
+// BenchmarkAblationNoBeta removes the QoS-power variance coefficient from
+// MCF (criticality from duration and call times only).
+func BenchmarkAblationNoBeta(b *testing.B) {
+	runAblation(b, func(f *fridge.Fridge) { f.Calculator().IgnoreBeta = true }, 0)
+}
+
+// BenchmarkAblationStaticIndegree freezes the dynamic factor: MCF computed
+// from a fixed 1:1 region mix instead of the live indegree counters.
+func BenchmarkAblationStaticIndegree(b *testing.B) {
+	runAblation(b, func(f *fridge.Fridge) {
+		f.LoadOverride = map[string]float64{"A": 1, "B": 1}
+	}, 0)
+}
+
+// BenchmarkAblationNoMigration keeps MCF-driven zone frequencies but never
+// moves containers: services stay wherever round-robin put them.
+func BenchmarkAblationNoMigration(b *testing.B) {
+	runAblation(b, func(f *fridge.Fridge) { f.MigrateServices = false }, 0)
+}
+
+// BenchmarkAblationSlowMigration charges two seconds of container startup
+// per migration (the paper's fast start-new-then-kill-old strategy vs a
+// slow one).
+func BenchmarkAblationSlowMigration(b *testing.B) {
+	runAblation(b, nil, 2*time.Second)
+}
+
+// ---------------------------------------------------------------------
+// Microbenchmarks for the substrate hot paths.
+
+// BenchmarkEngineEvents measures raw event throughput of the DES core.
+func BenchmarkEngineEvents(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.Schedule(time.Microsecond, tick)
+	eng.Run()
+}
+
+// BenchmarkServerJobChurn measures job submit/complete cycles through the
+// frequency-scalable core pool.
+func BenchmarkServerJobChurn(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	srv := cluster.NewServer(eng, "n1", cluster.RoleNormalWorker, 6)
+	done := 0
+	var submit func()
+	submit = func() {
+		done++
+		if done < b.N {
+			srv.Submit(&cluster.Job{Tag: "x", Demand: 100 * time.Microsecond, OnDone: submit})
+		}
+	}
+	b.ResetTimer()
+	srv.Submit(&cluster.Job{Tag: "x", Demand: 100 * time.Microsecond, OnDone: submit})
+	eng.Run()
+}
+
+// BenchmarkMCFCalculation measures one full MCF evaluation over the study
+// graph (the per-tick cost of the MCF Calculator).
+func BenchmarkMCFCalculation(b *testing.B) {
+	b.ReportAllocs()
+	calc := core.NewCalculator(core.BuildGraph(app.TwoRegionStudy()))
+	load := map[string]float64{"A": 30, "B": 20}
+	b.ResetTimer()
+	var out map[string]float64
+	for i := 0; i < b.N; i++ {
+		out = calc.MCF(load, 1.8)
+	}
+	if len(out) == 0 {
+		b.Fatal("no MCF computed")
+	}
+}
+
+// BenchmarkMCFClassification measures the three-level classification,
+// which evaluates MCF at two frequencies.
+func BenchmarkMCFClassification(b *testing.B) {
+	b.ReportAllocs()
+	calc := core.NewCalculator(core.BuildGraph(app.TwoRegionStudy()))
+	cl := core.NewClassifier(calc)
+	load := map[string]float64{"A": 30, "B": 20}
+	b.ResetTimer()
+	var out map[string]core.Criticality
+	for i := 0; i < b.N; i++ {
+		out = cl.Classify(load)
+	}
+	if len(out) == 0 {
+		b.Fatal("no classification")
+	}
+}
+
+// BenchmarkRequestExecution measures the cost of simulating one full
+// Advanced Search request (about 260 microservice invocations).
+func BenchmarkRequestExecution(b *testing.B) {
+	b.ReportAllocs()
+	res := engine.Build(engine.Config{Seed: 1, KeepSpans: false})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Executor.Launch("A", nil)
+		res.Engine.RunFor(10 * time.Second)
+	}
+	if res.Executor.Completed() != uint64(b.N) {
+		b.Fatalf("completed %d of %d", res.Executor.Completed(), b.N)
+	}
+}
+
+// BenchmarkFridgeTick measures one control interval of the ServiceFridge
+// controller (classification + zoning + frequency planning) under load.
+func BenchmarkFridgeTick(b *testing.B) {
+	b.ReportAllocs()
+	res := engine.Build(ablationConfig(1))
+	res.Engine.RunFor(6 * time.Second) // reach steady state
+	f := res.Fridge
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Tick()
+	}
+}

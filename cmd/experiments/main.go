@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list            # show available experiment IDs
+//	experiments -run fig15       # regenerate one artifact
+//	experiments -run all         # regenerate everything (paper order)
+//	experiments -seed 7 -run fig6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"servicefridge/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment ID to regenerate (or \"all\")")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		format = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []experiments.Experiment
+	switch {
+	case *run == "all":
+		todo = experiments.All()
+	case *run == "ext":
+		todo = experiments.Extensions()
+	default:
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n",
+					id, strings.Join(experiments.IDs(), ", "))
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+	_ = todo
+
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
+		for _, tb := range e.Run(*seed) {
+			if *format == "csv" {
+				fmt.Printf("# %s\n%s\n", tb.Title, tb.CSV())
+			} else {
+				fmt.Println(tb)
+			}
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

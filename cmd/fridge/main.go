@@ -1,0 +1,125 @@
+// Command fridge runs one ServiceFridge experiment scenario and prints the
+// latency and power results.
+//
+// Usage:
+//
+//	fridge -scheme ServiceFridge -budget 0.8 -workers 50 -mixA 30 -mixB 20 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"servicefridge/internal/app"
+	"servicefridge/internal/core"
+	"servicefridge/internal/engine"
+	"servicefridge/internal/fridge"
+	"servicefridge/internal/metrics"
+	"servicefridge/internal/workload"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "Baseline", "power scheme: Baseline, Capping, P-first, T-first, ServiceFridge")
+		budget   = flag.Float64("budget", 1.0, "power budget fraction of maximum (0.75..1.0)")
+		workers  = flag.Int("workers", 50, "closed-loop worker count")
+		mixA     = flag.Float64("mixA", 1, "weight of region A (Advanced Search) requests")
+		mixB     = flag.Float64("mixB", 1, "weight of region B (Basic Ticketing) requests")
+		duration = flag.Duration("duration", 30*time.Second, "measured duration after warmup")
+		warmup   = flag.Duration("warmup", 5*time.Second, "warmup duration (discarded)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		appFlag  = flag.String("app", "study", "application: study (8 services, 2 regions) or full (42 services, 6 regions)")
+		specPath = flag.String("spec", "", "JSON application profile (overrides -app)")
+	)
+	flag.Parse()
+
+	spec := app.TwoRegionStudy()
+	if *appFlag == "full" {
+		spec = app.TrainTicket()
+	}
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spec, err = app.ReadSpec(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	// Mix: for the two-region study, -mixA/-mixB weights; otherwise a
+	// uniform mix over the spec's regions.
+	var mix *workload.Mix
+	if spec.Region("A") != nil && spec.Region("B") != nil {
+		mix = workload.Ratio(*mixA, *mixB)
+	} else {
+		weights := map[string]float64{}
+		for _, rn := range spec.RegionNames() {
+			weights[rn] = 1
+		}
+		mix = workload.NewMix(spec.RegionNames(), weights)
+	}
+
+	cfg := engine.Config{
+		Seed:           *seed,
+		Spec:           spec,
+		Scheme:         engine.SchemeName(*scheme),
+		BudgetFraction: *budget,
+		Workers:        *workers,
+		Mix:            mix,
+		Warmup:         *warmup,
+		Duration:       *duration,
+	}
+	res := engine.Run(cfg)
+
+	fmt.Printf("scheme=%s budget=%.0f%% workers=%d regions=%v sim=%v\n\n",
+		*scheme, *budget*100, *workers, spec.RegionNames(), *warmup+*duration)
+
+	tb := metrics.NewTable("Response time (post-warmup)", "region", "count", "mean", "p90", "p95", "p99")
+	for _, region := range spec.RegionNames() {
+		s := res.Summary(region)
+		if s.Count == 0 {
+			continue
+		}
+		tb.Rowf(region, s.Count, s.Mean, s.P90, s.P95, s.P99)
+	}
+	fmt.Println(tb)
+
+	fmt.Printf("power: cap=%.1fW mean-dynamic=%.1fW peak-dynamic=%.1fW range=%.1fW\n",
+		float64(res.Budget.Cap()), float64(res.Meter.MeanDynamic()),
+		float64(res.Meter.PeakDynamic()), float64(res.Meter.DynamicRange()))
+
+	over := 0
+	for _, cs := range res.Meter.ClusterSamples() {
+		if res.Budget.Violated(cs.Total) {
+			over++
+		}
+	}
+	fmt.Printf("budget violations: %d / %d samples\n", over, len(res.Meter.ClusterSamples()))
+	fmt.Printf("migrations: %d  container starts: %d\n", res.Orch.Migrations(), res.Orch.Started())
+
+	if res.Fridge != nil {
+		fmt.Println()
+		low, unc, high := core.Levels(res.Fridge.Levels())
+		fmt.Printf("criticality: high=%v uncertain=%v low=%v\n", high, unc, low)
+		for _, z := range []fridge.Zone{fridge.Cold, fridge.Warm, fridge.Hot} {
+			var names []string
+			for _, s := range res.Fridge.ZoneServers(z) {
+				names = append(names, s.Name())
+			}
+			fmt.Printf("zone %-5s freq=%v servers=%v\n", z, res.Fridge.ZoneFreq(z), names)
+		}
+		fmt.Printf("algorithm-1: promotions=%d demotions=%d\n",
+			res.Fridge.Promotions(), res.Fridge.Demotions())
+	}
+
+	if res.Executor.Completed() == 0 {
+		fmt.Fprintln(os.Stderr, "warning: no requests completed")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,118 @@
+// Command mcf computes Microservice Criticality Factors for an
+// application profile and request mix — the offline half of ServiceFridge,
+// usable standalone for capacity planning.
+//
+// Usage:
+//
+//	mcf                                  # built-in two-region study, A:B=30:20
+//	mcf -mix A=30,B=20 -freq 1.8
+//	mcf -spec myapp.json -mix search=10,checkout=3
+//	mcf -export > trainticket.json       # dump the built-in profile as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"servicefridge/internal/app"
+	"servicefridge/internal/cluster"
+	"servicefridge/internal/core"
+	"servicefridge/internal/metrics"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "JSON application profile (default: built-in two-region study)")
+		mixFlag  = flag.String("mix", "A=30,B=20", "region load, comma-separated name=weight pairs")
+		freq     = flag.Float64("freq", 2.4, "operating frequency in GHz for the MCF column")
+		export   = flag.Bool("export", false, "print the selected spec as JSON and exit")
+		full     = flag.Bool("full", false, "use the full 42-service TrainTicket profile")
+	)
+	flag.Parse()
+
+	spec := app.TwoRegionStudy()
+	if *full {
+		spec = app.TrainTicket()
+	}
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spec, err = app.ReadSpec(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *export {
+		if _, err := spec.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		return
+	}
+
+	load, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for region := range load {
+		if spec.Region(region) == nil {
+			fmt.Fprintf(os.Stderr, "unknown region %q; spec has %v\n", region, spec.RegionNames())
+			os.Exit(2)
+		}
+	}
+
+	graph := core.BuildGraph(spec)
+	calc := core.NewCalculator(graph)
+	classifier := core.NewClassifier(calc)
+
+	f := cluster.ClampFreq(cluster.GHz(*freq))
+	mcf := calc.MCF(load, f)
+	atMin := calc.MCF(load, cluster.FreqMin)
+	levels := classifier.Classify(load)
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("MCF at %v (load %s, normalized to %v)", f, *mixFlag, core.DefaultRTRef),
+		"rank", "microservice", "MCF", "MCF@1.2GHz", "criticality", "zone")
+	for i, svc := range core.Rank(mcf) {
+		zone := map[core.Criticality]string{
+			core.High: "cold", core.Uncertain: "warm", core.Low: "hot",
+		}[levels[svc]]
+		tb.Rowf(i+1, svc, mcf[svc], atMin[svc], levels[svc].String(), zone)
+	}
+	fmt.Println(tb)
+}
+
+func parseMix(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want name=weight)", pair)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad weight in %q", pair)
+		}
+		if w > 0 {
+			out[strings.TrimSpace(name)] = w
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mix %q has no positive weights", s)
+	}
+	return out, nil
+}

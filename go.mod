@@ -1,0 +1,3 @@
+module servicefridge
+
+go 1.22

@@ -1,0 +1,183 @@
+package app
+
+import (
+	"fmt"
+	"time"
+
+	"servicefridge/internal/cluster"
+	"servicefridge/internal/sim"
+	"servicefridge/internal/trace"
+)
+
+// Placement resolves which server runs the next invocation of a service.
+// The orchestrator implements it; tests can use fixed maps.
+type Placement interface {
+	// HostFor returns the server for the next call to service, or nil if
+	// the service has no running instance.
+	HostFor(service string) *cluster.Server
+}
+
+// PlacementFunc adapts a function to the Placement interface.
+type PlacementFunc func(service string) *cluster.Server
+
+// HostFor implements Placement.
+func (f PlacementFunc) HostFor(service string) *cluster.Server { return f(service) }
+
+// Executor replays requests of an application Spec against a cluster. One
+// request walks its region's stages: the API-layer job first, then each
+// stage's calls with their per-call concurrency bounds, recording a span
+// per invocation into the trace collector.
+type Executor struct {
+	eng   *sim.Engine
+	spec  *Spec
+	place Placement
+	col   *trace.Collector
+	rng   *sim.RNG
+	// NetDelay is the one-way network latency added before each
+	// invocation is submitted to its host (the paper's services speak
+	// HTTP over a local switch; default 100µs).
+	NetDelay time.Duration
+
+	launched  uint64
+	completed uint64
+}
+
+// NewExecutor builds an executor. rng should be a dedicated sub-stream.
+func NewExecutor(eng *sim.Engine, spec *Spec, place Placement, col *trace.Collector, rng *sim.RNG) *Executor {
+	return &Executor{
+		eng: eng, spec: spec, place: place, col: col, rng: rng,
+		NetDelay: 100 * time.Microsecond,
+	}
+}
+
+// Spec returns the application the executor replays.
+func (x *Executor) Spec() *Spec { return x.spec }
+
+// Collector returns the trace collector receiving spans.
+func (x *Executor) Collector() *trace.Collector { return x.col }
+
+// Launched returns how many requests have been started.
+func (x *Executor) Launched() uint64 { return x.launched }
+
+// Completed returns how many requests have finished.
+func (x *Executor) Completed() uint64 { return x.completed }
+
+// Launch starts one request against region now. onDone (optional) fires
+// with the completed trace.
+func (x *Executor) Launch(regionName string, onDone func(*trace.Trace)) {
+	r := x.spec.Region(regionName)
+	if r == nil {
+		panic(fmt.Sprintf("app: Launch on unknown region %q", regionName))
+	}
+	x.launched++
+	tr := x.col.StartTrace(regionName, x.eng.Now())
+	finish := func() {
+		x.completed++
+		x.col.FinishTrace(tr, x.eng.Now())
+		if onDone != nil {
+			onDone(tr)
+		}
+	}
+	// The API-layer service performs its own task first, then drives the
+	// stages and waits for them (§2.1: upper-level services "not only
+	// perform their own tasks, but also wait for the return of the
+	// lower-level microservices").
+	x.invoke(tr, r.API, r.APIExec, func() {
+		x.runStage(tr, r, 0, finish)
+	})
+}
+
+func (x *Executor) runStage(tr *trace.Trace, r *Region, idx int, done func()) {
+	if idx >= len(r.Stages) {
+		done()
+		return
+	}
+	stage := r.Stages[idx]
+	if len(stage) == 0 {
+		x.runStage(tr, r, idx+1, done)
+		return
+	}
+	remaining := len(stage)
+	onCall := func() {
+		remaining--
+		if remaining == 0 {
+			x.runStage(tr, r, idx+1, done)
+		}
+	}
+	for _, c := range stage {
+		x.runCall(tr, c, onCall)
+	}
+}
+
+// runCall issues c.Times invocations of c.Service with at most
+// c.Concurrency in flight, calling done when the last completes.
+func (x *Executor) runCall(tr *trace.Trace, c Call, done func()) {
+	conc := c.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	if conc > c.Times {
+		conc = c.Times
+	}
+	issued, completed := 0, 0
+	var next func()
+	next = func() {
+		if issued >= c.Times {
+			return
+		}
+		issued++
+		x.invoke(tr, c.Service, c.Exec, func() {
+			completed++
+			if completed == c.Times {
+				done()
+				return
+			}
+			next()
+		})
+	}
+	for k := 0; k < conc; k++ {
+		next()
+	}
+}
+
+// invoke runs one invocation of service with the given mean demand,
+// recording a span and calling onDone at completion.
+func (x *Executor) invoke(tr *trace.Trace, service string, meanExec time.Duration, onDone func()) {
+	ms := x.spec.Service(service)
+	if ms == nil {
+		panic(fmt.Sprintf("app: invoke of unknown service %q", service))
+	}
+	demand := meanExec
+	if ms.Jitter > 0 {
+		demand = time.Duration(x.rng.LogNormal(float64(meanExec), ms.Jitter*float64(meanExec)))
+	}
+	submit := func() {
+		host := x.place.HostFor(service)
+		if host == nil {
+			panic(fmt.Sprintf("app: service %q has no placed instance", service))
+		}
+		submitted := x.eng.Now()
+		var started sim.Time
+		host.Submit(&cluster.Job{
+			Tag:      service,
+			Demand:   demand,
+			Slowdown: ms.Slowdown(),
+			OnStart:  func() { started = x.eng.Now() },
+			OnDone: func() {
+				x.col.AddSpan(tr, trace.Span{
+					Service: service,
+					Host:    host.Name(),
+					Submit:  submitted,
+					Start:   started,
+					End:     x.eng.Now(),
+				})
+				onDone()
+			},
+		})
+	}
+	if x.NetDelay > 0 {
+		x.eng.Schedule(x.NetDelay, submit)
+	} else {
+		submit()
+	}
+}

@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"servicefridge/internal/sim"
+)
+
+// Discipline selects how a server shares its cores among jobs.
+type Discipline int
+
+const (
+	// FIFO queues jobs beyond the core count; each running job owns one
+	// core. This is the default and models thread-per-request services.
+	FIFO Discipline = iota
+	// ProcessorSharing runs every submitted job at once, each at rate
+	// min(1, cores/jobs) — the idealized model of CFS time-slicing
+	// across containers. Small jobs are not stuck behind large ones.
+	ProcessorSharing
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case FIFO:
+		return "fifo"
+	case ProcessorSharing:
+		return "ps"
+	default:
+		return fmt.Sprintf("discipline(%d)", int(d))
+	}
+}
+
+// psEpsilon bounds the float truncation error of virtual-time accounting:
+// completions are scheduled this much late and remainders below it are
+// considered served. It is nine orders of magnitude below the
+// millisecond-scale service demands being modelled.
+const psEpsilon = 10 * time.Nanosecond
+
+// PSServer is a processor-sharing variant of Server. It shares the same
+// Job type: Demand is the execution time at FreqMax on a dedicated core;
+// under contention every job stretches by jobs/cores.
+//
+// Implementation: virtual-time processor sharing. All bookkeeping is in
+// "service units": one unit per second of dedicated-core execution at the
+// job's current slowdown. On every arrival, departure or DVFS change the
+// remaining service of the active jobs is advanced and the next departure
+// re-scheduled.
+type PSServer struct {
+	eng   *sim.Engine
+	name  string
+	role  Role
+	cores int
+	freq  GHz
+
+	running map[*Job]struct{}
+	// lastAdvance is when remaining work was last decremented.
+	lastAdvance sim.Time
+	nextDone    sim.Timer
+	haveTimer   bool
+
+	busyTotal  time.Duration
+	busyByTag  map[string]time.Duration
+	lastUpdate sim.Time
+
+	completedJobs uint64
+	freqChanges   uint64
+}
+
+// NewPSServer creates a processor-sharing server at FreqMax.
+func NewPSServer(eng *sim.Engine, name string, role Role, cores int) *PSServer {
+	if cores <= 0 {
+		panic(fmt.Sprintf("cluster: ps server %q needs at least one core", name))
+	}
+	return &PSServer{
+		eng:       eng,
+		name:      name,
+		role:      role,
+		cores:     cores,
+		freq:      FreqMax,
+		running:   make(map[*Job]struct{}),
+		busyByTag: make(map[string]time.Duration),
+	}
+}
+
+// Name returns the node name.
+func (s *PSServer) Name() string { return s.name }
+
+// Role returns the node's role.
+func (s *PSServer) Role() Role { return s.role }
+
+// Cores returns the core count.
+func (s *PSServer) Cores() int { return s.cores }
+
+// Freq returns the current frequency.
+func (s *PSServer) Freq() GHz { return s.freq }
+
+// InFlight returns the number of jobs currently being served.
+func (s *PSServer) InFlight() int { return len(s.running) }
+
+// Completed returns the number of finished jobs.
+func (s *PSServer) Completed() uint64 { return s.completedJobs }
+
+// FreqChanges returns the number of DVFS transitions.
+func (s *PSServer) FreqChanges() uint64 { return s.freqChanges }
+
+// rate returns the per-job progress rate in service-units per second:
+// min(1, cores/n) — each job gets at most one core's worth.
+func (s *PSServer) rate() float64 {
+	n := len(s.running)
+	if n == 0 {
+		return 0
+	}
+	r := float64(s.cores) / float64(n)
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// advance charges elapsed progress to every running job and accrues busy
+// time. Must be called before any membership or frequency change.
+func (s *PSServer) advance() {
+	now := s.eng.Now()
+	dt := now.Sub(s.lastAdvance)
+	if dt > 0 && len(s.running) > 0 {
+		r := s.rate()
+		// Busy cores = min(cores, n jobs).
+		busyCores := len(s.running)
+		if busyCores > s.cores {
+			busyCores = s.cores
+		}
+		bdt := dt * time.Duration(busyCores)
+		s.busyTotal += bdt
+		perTag := bdt / time.Duration(len(s.running))
+		for j := range s.running {
+			// Progress in unscaled demand units: wall time x rate /
+			// slowdown factor.
+			done := time.Duration(float64(dt) * r / j.factor)
+			if done > j.remaining {
+				done = j.remaining
+			}
+			j.remaining -= done
+			s.busyByTag[j.Tag] += perTag
+		}
+	}
+	s.lastAdvance = now
+	if now > s.lastUpdate {
+		s.lastUpdate = now
+	}
+}
+
+// reschedule points the completion timer at the job that will finish
+// first under the current sharing rate.
+func (s *PSServer) reschedule() {
+	if s.haveTimer {
+		s.nextDone.Stop()
+		s.haveTimer = false
+	}
+	if len(s.running) == 0 {
+		return
+	}
+	r := s.rate()
+	var soonest time.Duration = -1
+	for j := range s.running {
+		wall := time.Duration(float64(j.remaining) * j.factor / r)
+		if soonest < 0 || wall < soonest {
+			soonest = wall
+		}
+	}
+	if soonest < 0 {
+		soonest = 0
+	}
+	// Schedule just past the analytic completion instant so truncation in
+	// advance() cannot leave a sliver of work that re-arms a zero-length
+	// timer forever.
+	s.nextDone = s.eng.After(soonest+psEpsilon, s.completeDue)
+	s.haveTimer = true
+}
+
+// completeDue retires every job whose remaining service reached zero.
+func (s *PSServer) completeDue() {
+	s.haveTimer = false
+	s.advance()
+	var done []*Job
+	for j := range s.running {
+		if j.remaining <= psEpsilon {
+			done = append(done, j)
+		}
+	}
+	// Deterministic retirement order: by arrival (since time).
+	for i := 0; i < len(done); i++ {
+		for k := i + 1; k < len(done); k++ {
+			if done[k].since < done[i].since {
+				done[i], done[k] = done[k], done[i]
+			}
+		}
+	}
+	for _, j := range done {
+		delete(s.running, j)
+		j.running = false
+		s.completedJobs++
+	}
+	s.reschedule()
+	for _, j := range done {
+		if j.OnDone != nil {
+			j.OnDone()
+		}
+	}
+}
+
+// Submit starts serving a job immediately (PS admits everything).
+func (s *PSServer) Submit(j *Job) {
+	if j.Demand < 0 {
+		panic(fmt.Sprintf("cluster: ps job %q with negative demand %v", j.Tag, j.Demand))
+	}
+	s.advance()
+	j.remaining = j.Demand
+	j.factor = j.slowdownAt(s.freq)
+	j.since = s.eng.Now()
+	j.running = true
+	s.running[j] = struct{}{}
+	if j.OnStart != nil {
+		j.OnStart()
+	}
+	s.reschedule()
+}
+
+// SetFreq performs a DVFS transition; all in-flight work rescales.
+func (s *PSServer) SetFreq(f GHz) {
+	f = ClampFreq(f)
+	if f == s.freq {
+		return
+	}
+	s.advance()
+	for j := range s.running {
+		j.factor = j.slowdownAt(f)
+	}
+	s.freq = f
+	s.freqChanges++
+	s.reschedule()
+}
+
+// BusyCoreTime returns cumulative busy-core time.
+func (s *PSServer) BusyCoreTime() time.Duration {
+	s.advance()
+	s.reschedule()
+	return s.busyTotal
+}
+
+// BusyCoreTimeByTag returns cumulative busy time attributed to tag.
+func (s *PSServer) BusyCoreTimeByTag(tag string) time.Duration {
+	s.advance()
+	s.reschedule()
+	return s.busyByTag[tag]
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"servicefridge/internal/sim"
+)
+
+// psNear reports whether a simulation time is within 1µs of want —
+// PS completions land psEpsilon late by design.
+func psNear(at sim.Time, want time.Duration) bool {
+	d := time.Duration(at) - want
+	return d >= -time.Microsecond && d <= time.Microsecond
+}
+
+func TestPSSingleJobRunsAtFullRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewPSServer(eng, "ps1", RoleNormalWorker, 2)
+	var doneAt sim.Time
+	s.Submit(&Job{Tag: "a", Demand: 10 * time.Millisecond,
+		OnDone: func() { doneAt = eng.Now() }})
+	eng.Run()
+	if !psNear(doneAt, 10*time.Millisecond) {
+		t.Fatalf("single PS job finished at %v, want ~10ms", doneAt)
+	}
+}
+
+func TestPSJobsShareCores(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewPSServer(eng, "ps1", RoleNormalWorker, 1)
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		s.Submit(&Job{Tag: "a", Demand: 10 * time.Millisecond,
+			OnDone: func() { ends = append(ends, eng.Now()) }})
+	}
+	eng.Run()
+	// Two equal jobs on one core under PS finish together at 20ms —
+	// unlike FIFO where they finish at 10 and 20.
+	if len(ends) != 2 {
+		t.Fatalf("completed %d", len(ends))
+	}
+	for _, e := range ends {
+		if !psNear(e, 20*time.Millisecond) {
+			t.Fatalf("PS job ended at %v, want ~20ms (shared)", e)
+		}
+	}
+}
+
+func TestPSSmallJobNotStuckBehindLarge(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewPSServer(eng, "ps1", RoleNormalWorker, 1)
+	var bigEnd, smallEnd sim.Time
+	s.Submit(&Job{Tag: "big", Demand: 100 * time.Millisecond,
+		OnDone: func() { bigEnd = eng.Now() }})
+	eng.Schedule(10*time.Millisecond, func() {
+		s.Submit(&Job{Tag: "small", Demand: time.Millisecond,
+			OnDone: func() { smallEnd = eng.Now() }})
+	})
+	eng.Run()
+	// Small job (1ms demand) shares 50/50 from t=10ms: finishes ~12ms.
+	if smallEnd > sim.Time(13*time.Millisecond) {
+		t.Fatalf("small job finished at %v under PS, want ~12ms", smallEnd)
+	}
+	// Big job: 10ms solo + 2ms shared (1ms progress) + 89ms solo = 101ms.
+	if !psNear(bigEnd, 101*time.Millisecond) {
+		t.Fatalf("big job finished at %v, want ~101ms", bigEnd)
+	}
+}
+
+func TestPSMoreCoresThanJobs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewPSServer(eng, "ps1", RoleNormalWorker, 4)
+	var ends []sim.Time
+	for i := 0; i < 3; i++ {
+		s.Submit(&Job{Tag: "a", Demand: 10 * time.Millisecond,
+			OnDone: func() { ends = append(ends, eng.Now()) }})
+	}
+	eng.Run()
+	// 3 jobs, 4 cores: no sharing penalty.
+	for _, e := range ends {
+		if !psNear(e, 10*time.Millisecond) {
+			t.Fatalf("underloaded PS job ended at %v, want ~10ms", e)
+		}
+	}
+}
+
+func TestPSFrequencyScaling(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewPSServer(eng, "ps1", RoleNormalWorker, 1)
+	s.SetFreq(1.2)
+	var doneAt sim.Time
+	s.Submit(&Job{Tag: "a", Demand: 10 * time.Millisecond,
+		OnDone: func() { doneAt = eng.Now() }})
+	eng.Run()
+	if !psNear(doneAt, 20*time.Millisecond) {
+		t.Fatalf("PS job at 1.2GHz finished at %v, want ~20ms", doneAt)
+	}
+}
+
+func TestPSMidFlightDVFS(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewPSServer(eng, "ps1", RoleNormalWorker, 1)
+	var doneAt sim.Time
+	s.Submit(&Job{Tag: "a", Demand: 10 * time.Millisecond,
+		OnDone: func() { doneAt = eng.Now() }})
+	eng.Schedule(5*time.Millisecond, func() { s.SetFreq(1.2) })
+	eng.Run()
+	// 5ms at full speed (5ms served) + 5ms remaining at 2x = 15ms total.
+	if !psNear(doneAt, 15*time.Millisecond) {
+		t.Fatalf("PS job finished at %v, want ~15ms", doneAt)
+	}
+}
+
+func TestPSBusyAccounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewPSServer(eng, "ps1", RoleNormalWorker, 1)
+	s.Submit(&Job{Tag: "a", Demand: 10 * time.Millisecond})
+	s.Submit(&Job{Tag: "b", Demand: 10 * time.Millisecond})
+	eng.Run()
+	// One core busy for 20ms total.
+	if got := s.BusyCoreTime() - 20*time.Millisecond; got < -time.Microsecond || got > time.Microsecond {
+		t.Fatalf("busy = %v, want ~20ms", s.BusyCoreTime())
+	}
+	if got := s.BusyCoreTimeByTag("a") - 10*time.Millisecond; got < -time.Microsecond || got > time.Microsecond {
+		t.Fatalf("busy[a] = %v, want ~10ms (even split)", s.BusyCoreTimeByTag("a"))
+	}
+}
+
+// Property: under PS, total service delivered equals total demand for any
+// arrival pattern, and jobs always complete.
+func TestPSConservationProperty(t *testing.T) {
+	f := func(seed uint64, nJobs uint8) bool {
+		n := int(nJobs%15) + 1
+		eng := sim.NewEngine(seed)
+		r := eng.RNG().Stream("jobs")
+		s := NewPSServer(eng, "ps1", RoleNormalWorker, 2)
+		var totalDemand time.Duration
+		for i := 0; i < n; i++ {
+			d := time.Duration(r.Intn(20)+1) * time.Millisecond
+			totalDemand += d
+			at := time.Duration(r.Intn(40)) * time.Millisecond
+			eng.Schedule(at, func() { s.Submit(&Job{Tag: "t", Demand: d}) })
+		}
+		for i := 0; i < 4; i++ {
+			at := time.Duration(r.Intn(60)) * time.Millisecond
+			fi := GHz(1.2 + float64(r.Intn(13))/10)
+			eng.Schedule(at, func() { s.SetFreq(fi) })
+		}
+		eng.Run()
+		if s.Completed() != uint64(n) {
+			return false
+		}
+		// All CPU-bound jobs at varying frequency: busy time >= demand
+		// (slowdown only stretches), and within a sane bound (2x for
+		// the 1.2GHz floor plus rounding).
+		busy := s.BusyCoreTime()
+		return busy >= totalDemand-time.Millisecond && busy <= 2*totalDemand+time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PS never finishes a batch of simultaneous equal jobs later
+// than n*demand/cores (work conservation) nor earlier than demand.
+func TestPSMakespanBounds(t *testing.T) {
+	f := func(seed uint64, nJobs, coreRaw uint8) bool {
+		n := int(nJobs%10) + 1
+		cores := int(coreRaw%4) + 1
+		eng := sim.NewEngine(seed)
+		s := NewPSServer(eng, "ps", RoleNormalWorker, cores)
+		demand := 10 * time.Millisecond
+		var last sim.Time
+		for i := 0; i < n; i++ {
+			s.Submit(&Job{Tag: "x", Demand: demand, OnDone: func() {
+				if eng.Now() > last {
+					last = eng.Now()
+				}
+			}})
+		}
+		eng.Run()
+		ideal := time.Duration(n) * demand / time.Duration(cores)
+		if ideal < demand {
+			ideal = demand
+		}
+		diff := time.Duration(last) - ideal
+		return diff >= -time.Microsecond && diff <= 10*time.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package cluster models the physical substrate of the paper's testbed
+// (Table 2): servers with multi-core CPUs whose operating frequency is
+// adjustable through ACPI-style P-states, grouped into a cluster with the
+// roles the paper assigns (swarm manager, power worker, normal workers).
+//
+// The paper ran on five Dell PowerEdge R730 nodes with 6-core Intel Xeon
+// E5-2620 v3 CPUs scaling from 1.2 GHz to 2.4 GHz in 0.1 GHz steps and a
+// 100 W nameplate. Those numbers are the defaults here; everything is
+// configurable so experiments can scale the cluster up.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// GHz is a CPU operating frequency in gigahertz.
+type GHz float64
+
+func (f GHz) String() string { return fmt.Sprintf("%.1fGHz", float64(f)) }
+
+// Testbed frequency limits from Table 2 of the paper.
+const (
+	FreqMin GHz = 1.2
+	FreqMax GHz = 2.4
+)
+
+// PStates returns the full ACPI frequency ladder of the testbed CPU:
+// 1.2 GHz through 2.4 GHz at 0.1 GHz intervals (13 states, ascending).
+func PStates() []GHz {
+	var out []GHz
+	for f := 12; f <= 24; f++ {
+		out = append(out, GHz(float64(f)/10))
+	}
+	return out
+}
+
+// ProfilePoints returns the seven V/F settings the paper profiles in
+// Figures 5 and 11: 1.2, 1.4, ..., 2.4 GHz (ascending).
+func ProfilePoints() []GHz {
+	var out []GHz
+	for f := 12; f <= 24; f += 2 {
+		out = append(out, GHz(float64(f)/10))
+	}
+	return out
+}
+
+// ClampFreq snaps f onto the nearest valid P-state within the ladder.
+func ClampFreq(f GHz) GHz {
+	if f <= FreqMin {
+		return FreqMin
+	}
+	if f >= FreqMax {
+		return FreqMax
+	}
+	// Round to the canonical tenth-of-GHz value so ClampFreq(1.8) is
+	// bit-identical to the literal 1.8 (no accumulated float error).
+	return GHz(math.Round(float64(f)*10) / 10)
+}
+
+// StepDown returns the next lower P-state, or FreqMin if already there.
+func StepDown(f GHz) GHz { return ClampFreq(f - 0.1) }
+
+// StepUp returns the next higher P-state, or FreqMax if already there.
+func StepUp(f GHz) GHz { return ClampFreq(f + 0.1) }
+
+// Role identifies what a node does in the testbed, mirroring Table 2.
+type Role int
+
+const (
+	// RoleManager is the swarm manager; it hosts the tracing UI and the
+	// API entry point (Server A in Table 2).
+	RoleManager Role = iota
+	// RolePowerWorker hosts the microservice under power observation
+	// (Server B in Table 2).
+	RolePowerWorker
+	// RoleNormalWorker hosts the remaining microservices (C1..C3).
+	RoleNormalWorker
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleManager:
+		return "manager"
+	case RolePowerWorker:
+		return "power-worker"
+	case RoleNormalWorker:
+		return "normal-worker"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}

@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"servicefridge/internal/sim"
+)
+
+// SlowdownFunc maps an operating frequency to the multiplicative execution
+// time inflation of a particular job class relative to FreqMax. A job class
+// that is insensitive to frequency returns ~1 everywhere; a perfectly
+// CPU-bound one returns FreqMax/f. The function must be >= 1 for f < FreqMax
+// and exactly 1 at FreqMax.
+type SlowdownFunc func(f GHz) float64
+
+// LinearSlowdown returns a SlowdownFunc where a fraction cpuShare of the
+// work scales inversely with frequency and the remainder is frequency
+// invariant (memory/IO/network time). cpuShare in [0,1].
+func LinearSlowdown(cpuShare float64) SlowdownFunc {
+	if cpuShare < 0 {
+		cpuShare = 0
+	}
+	if cpuShare > 1 {
+		cpuShare = 1
+	}
+	return func(f GHz) float64 {
+		if f <= 0 {
+			f = FreqMin
+		}
+		return (1 - cpuShare) + cpuShare*float64(FreqMax)/float64(f)
+	}
+}
+
+// Job is one unit of work submitted to a server: a single microservice
+// invocation. Demand is the service time the job would take at FreqMax on
+// an idle core; the actual time stretches by Slowdown(hostFreq) and by
+// queueing for a free core.
+type Job struct {
+	// Tag attributes the job's busy time to a logical owner (the
+	// microservice name); per-tag accounting feeds per-service power
+	// attribution (paper Figure 13).
+	Tag string
+	// Demand is the pure execution time at FreqMax.
+	Demand time.Duration
+	// Slowdown is the job's frequency sensitivity; nil means fully
+	// CPU-bound (FreqMax/f).
+	Slowdown SlowdownFunc
+	// OnStart, if non-nil, fires when the job begins occupying a core.
+	OnStart func()
+	// OnDone fires when the job's demand has been fully served.
+	OnDone func()
+
+	remaining time.Duration // unscaled demand not yet served
+	factor    float64       // current slowdown factor
+	since     sim.Time      // when remaining was last recomputed
+	timer     sim.Timer
+	running   bool
+}
+
+func (j *Job) slowdownAt(f GHz) float64 {
+	if j.Slowdown == nil {
+		return float64(FreqMax) / float64(f)
+	}
+	s := j.Slowdown(f)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Server is one physical node: a FIFO-queued pool of cores running at a
+// common adjustable frequency. Changing the frequency rescales the
+// remaining service time of every in-flight job (a DVFS transition affects
+// work in progress, not only future work).
+type Server struct {
+	eng   *sim.Engine
+	name  string
+	role  Role
+	cores int
+	freq  GHz
+
+	running map[*Job]struct{}
+	queue   []*Job
+
+	// busy accounting: cumulative core-busy time, total and per tag.
+	busyTotal  time.Duration
+	busyByTag  map[string]time.Duration
+	lastUpdate sim.Time
+
+	// completedJobs counts jobs fully served, for tests and reports.
+	completedJobs uint64
+	// freqChanges counts DVFS transitions, to expose control overhead.
+	freqChanges uint64
+}
+
+// NewServer creates a server with the given core count, initially at
+// FreqMax with empty queues.
+func NewServer(eng *sim.Engine, name string, role Role, cores int) *Server {
+	if cores <= 0 {
+		panic(fmt.Sprintf("cluster: server %q needs at least one core", name))
+	}
+	return &Server{
+		eng:       eng,
+		name:      name,
+		role:      role,
+		cores:     cores,
+		freq:      FreqMax,
+		running:   make(map[*Job]struct{}),
+		busyByTag: make(map[string]time.Duration),
+	}
+}
+
+// Name returns the node name.
+func (s *Server) Name() string { return s.name }
+
+// Role returns the node's testbed role.
+func (s *Server) Role() Role { return s.role }
+
+// Cores returns the number of cores.
+func (s *Server) Cores() int { return s.cores }
+
+// Freq returns the current operating frequency.
+func (s *Server) Freq() GHz { return s.freq }
+
+// InFlight returns the number of jobs currently occupying cores.
+func (s *Server) InFlight() int { return len(s.running) }
+
+// QueueLen returns the number of jobs waiting for a core.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Completed returns the count of fully served jobs.
+func (s *Server) Completed() uint64 { return s.completedJobs }
+
+// FreqChanges returns how many DVFS transitions this server has performed.
+func (s *Server) FreqChanges() uint64 { return s.freqChanges }
+
+// accrueBusy folds elapsed busy-core time into the counters. Must be called
+// before any change to the running set or a sample of the counters.
+func (s *Server) accrueBusy() {
+	now := s.eng.Now()
+	if now > s.lastUpdate && len(s.running) > 0 {
+		dt := now.Sub(s.lastUpdate)
+		s.busyTotal += dt * time.Duration(len(s.running))
+		for j := range s.running {
+			s.busyByTag[j.Tag] += dt
+		}
+	}
+	s.lastUpdate = now
+}
+
+// BusyCoreTime returns cumulative core-busy time since the run started.
+func (s *Server) BusyCoreTime() time.Duration {
+	s.accrueBusy()
+	return s.busyTotal
+}
+
+// BusyCoreTimeByTag returns cumulative busy time attributed to tag.
+func (s *Server) BusyCoreTimeByTag(tag string) time.Duration {
+	s.accrueBusy()
+	return s.busyByTag[tag]
+}
+
+// Tags returns all tags that have accumulated busy time, in no particular
+// order.
+func (s *Server) Tags() []string {
+	s.accrueBusy()
+	out := make([]string, 0, len(s.busyByTag))
+	for t := range s.busyByTag {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Submit enqueues a job. It starts immediately if a core is free.
+func (s *Server) Submit(j *Job) {
+	if j.Demand < 0 {
+		panic(fmt.Sprintf("cluster: job %q with negative demand %v", j.Tag, j.Demand))
+	}
+	if len(s.running) < s.cores {
+		s.start(j)
+		return
+	}
+	s.queue = append(s.queue, j)
+}
+
+func (s *Server) start(j *Job) {
+	s.accrueBusy()
+	j.remaining = j.Demand
+	j.factor = j.slowdownAt(s.freq)
+	j.since = s.eng.Now()
+	j.running = true
+	s.running[j] = struct{}{}
+	if j.OnStart != nil {
+		j.OnStart()
+	}
+	s.scheduleCompletion(j)
+}
+
+func (s *Server) scheduleCompletion(j *Job) {
+	wall := time.Duration(float64(j.remaining) * j.factor)
+	j.timer = s.eng.After(wall, func() { s.complete(j) })
+}
+
+func (s *Server) complete(j *Job) {
+	s.accrueBusy()
+	delete(s.running, j)
+	j.running = false
+	j.remaining = 0
+	s.completedJobs++
+	// Start the next queued job before the completion callback so that
+	// callbacks observing queue lengths see a settled state.
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		copy(s.queue, s.queue[1:])
+		s.queue[len(s.queue)-1] = nil
+		s.queue = s.queue[:len(s.queue)-1]
+		s.start(next)
+	}
+	if j.OnDone != nil {
+		j.OnDone()
+	}
+}
+
+// SetFreq performs a DVFS transition. In-flight jobs keep the work they
+// have completed and have their remaining service time rescaled to the new
+// frequency. Setting the current frequency is a no-op.
+func (s *Server) SetFreq(f GHz) {
+	f = ClampFreq(f)
+	if f == s.freq {
+		return
+	}
+	s.accrueBusy()
+	now := s.eng.Now()
+	for j := range s.running {
+		// Work completed since the last reschedule, in unscaled units.
+		elapsed := now.Sub(j.since)
+		done := time.Duration(float64(elapsed) / j.factor)
+		if done > j.remaining {
+			done = j.remaining
+		}
+		j.remaining -= done
+		j.since = now
+		j.factor = j.slowdownAt(f)
+		j.timer.Stop()
+		s.scheduleCompletion(j)
+	}
+	s.freq = f
+	s.freqChanges++
+}
+
+// Utilization returns the fraction of core capacity busy between two
+// cumulative BusyCoreTime readings taken window apart.
+func Utilization(busyDelta time.Duration, cores int, window time.Duration) float64 {
+	if window <= 0 || cores <= 0 {
+		return 0
+	}
+	u := float64(busyDelta) / (float64(cores) * float64(window))
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}

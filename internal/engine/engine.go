@@ -1,0 +1,353 @@
+// Package engine assembles complete experiment runs: it builds the
+// simulated testbed (Table 2), deploys the application with the
+// orchestrator, attaches a power-management scheme (Table 3), drives the
+// workload, and collects the latency and power results every figure of the
+// paper is derived from.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"servicefridge/internal/app"
+	"servicefridge/internal/cluster"
+	"servicefridge/internal/fridge"
+	"servicefridge/internal/metrics"
+	"servicefridge/internal/orchestrator"
+	"servicefridge/internal/power"
+	"servicefridge/internal/schemes"
+	"servicefridge/internal/sim"
+	"servicefridge/internal/trace"
+	"servicefridge/internal/workload"
+)
+
+// SchemeName selects a power-management policy (Table 3).
+type SchemeName string
+
+// The evaluated schemes of Table 3.
+const (
+	Baseline      SchemeName = "Baseline"
+	Capping       SchemeName = "Capping"
+	PFirst        SchemeName = "P-first"
+	TFirst        SchemeName = "T-first"
+	ServiceFridge SchemeName = "ServiceFridge"
+)
+
+// AllSchemes lists the four capped schemes compared in Figures 15-16.
+func AllSchemes() []SchemeName {
+	return []SchemeName{PFirst, TFirst, ServiceFridge, Capping}
+}
+
+// Config describes one experiment run.
+type Config struct {
+	// Seed drives all randomness; equal configs with equal seeds yield
+	// identical results.
+	Seed uint64
+	// Spec is the application; nil defaults to app.TwoRegionStudy().
+	Spec *app.Spec
+	// Scheme is the power-management policy; empty defaults to Baseline.
+	Scheme SchemeName
+	// BudgetFraction is the power budget as a fraction of maximum
+	// required power (§6: 100% down to 75%); 0 defaults to 1.0.
+	BudgetFraction float64
+	// MaxRequired, when positive, is the measured maximum required power
+	// the budget fraction applies to (from a calibration run — see
+	// CalibrateMaxRequired). Zero falls back to the nameplate maximum.
+	MaxRequired power.Watts
+	// Workers is the mixed closed-loop worker-pool size; 0 leaves the
+	// pool stopped (useful with Phases or PoolWorkers).
+	Workers int
+	// PoolWorkers starts one dedicated closed-loop pool per region with
+	// the given sizes — the paper's §6.4 methodology ("access both A and
+	// B with 25 paralleling workers at the same time").
+	PoolWorkers map[string]int
+	// OpenLoopRate starts an open-loop Poisson generator per region at
+	// the given requests/second — for tail studies beyond the closed-loop
+	// saturation point.
+	OpenLoopRate map[string]float64
+	// ExtraWorkers adds this many normal worker nodes beyond the paper's
+	// five-node testbed, for scale-out studies.
+	ExtraWorkers int
+	// Mix is the region request mix; nil defaults to A:B = 1:1.
+	Mix *workload.Mix
+	// Think is per-worker think time between requests (nil = none).
+	Think sim.Dist
+	// Phases optionally schedules workload changes (Figure 13); applied
+	// from t=0.
+	Phases []workload.Phase
+	// Warmup is discarded from latency results (default 5s).
+	Warmup time.Duration
+	// Duration is the measured period after warmup (default 30s).
+	Duration time.Duration
+	// ControlInterval is the scheme tick period (default 1s).
+	ControlInterval time.Duration
+	// MeterInterval is the power sampling period (default 1s).
+	MeterInterval time.Duration
+	// PinTo pins services to named nodes before round-robin deployment
+	// of the rest (§3.4 isolates the observed service on serverB).
+	PinTo map[string]string
+	// FixedFreqs sets per-node frequencies once at t=0 (used with
+	// Baseline for the frequency-isolation studies of Figures 5-6).
+	FixedFreqs map[string]cluster.GHz
+	// KeepSpans retains full span lists on traces (memory-heavy; only
+	// per-service analyses need it).
+	KeepSpans bool
+	// TrackFreqOf records the host frequency of these services at every
+	// meter interval (Figure 13's frequency traces).
+	TrackFreqOf []string
+	// Tune, if set, adjusts the constructed Fridge before the run (e.g.
+	// Figure 14's LoadOverride); ignored for other schemes.
+	Tune func(*fridge.Fridge)
+	// StartupDelay overrides the orchestrator's container startup time
+	// when positive (migration-cost sensitivity studies).
+	StartupDelay time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Spec == nil {
+		c.Spec = app.TwoRegionStudy()
+	}
+	if c.Scheme == "" {
+		c.Scheme = Baseline
+	}
+	if c.BudgetFraction == 0 {
+		c.BudgetFraction = 1.0
+	}
+	if c.Mix == nil {
+		c.Mix = workload.Ratio(1, 1)
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 5 * time.Second
+	}
+	if c.Duration == 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.ControlInterval == 0 {
+		c.ControlInterval = time.Second
+	}
+	if c.MeterInterval == 0 {
+		c.MeterInterval = time.Second
+	}
+}
+
+// FreqPoint is one sample of a service's host frequency.
+type FreqPoint struct {
+	At   sim.Time
+	Freq cluster.GHz
+}
+
+// Result carries everything a run produced.
+type Result struct {
+	Config    Config
+	Engine    *sim.Engine
+	Cluster   *cluster.Cluster
+	Orch      *orchestrator.Orchestrator
+	Meter     *power.Meter
+	Collector *trace.Collector
+	Executor  *app.Executor
+	Gen       *workload.ClosedLoop
+	Pools     map[string]*workload.ClosedLoop
+	OpenLoops map[string]*workload.OpenLoop
+	Fridge    *fridge.Fridge // nil unless Scheme == ServiceFridge
+	Budget    power.Budget
+	// WarmupEnd is the cut before which latencies are discarded.
+	WarmupEnd sim.Time
+	// FreqSeries holds tracked per-service frequency traces.
+	FreqSeries map[string][]FreqPoint
+}
+
+// Responses returns post-warmup response times for region ("" = all).
+func (r *Result) Responses(region string) *metrics.LatencyStats {
+	return metrics.FromSamples(r.Collector.ResponseAfter(region, r.WarmupEnd))
+}
+
+// Summary returns the post-warmup latency summary for region.
+func (r *Result) Summary(region string) metrics.Summary {
+	return r.Responses(region).Summarize()
+}
+
+// Build constructs a run without executing it, so callers can attach extra
+// instrumentation before Start.
+func Build(cfg Config) *Result {
+	cfg.fill()
+	eng := sim.NewEngine(cfg.Seed)
+	cl := cluster.DefaultTestbed(eng)
+	for i := 0; i < cfg.ExtraWorkers; i++ {
+		cl.AddServer(fmt.Sprintf("serverD%d", i+1), cluster.RoleNormalWorker, 6)
+	}
+	orch := orchestrator.New(cl)
+	if cfg.StartupDelay > 0 {
+		orch.StartupDelay = cfg.StartupDelay
+	}
+
+	// Deployment: pinned services first, the rest round-robin over the
+	// remaining nodes (swarm default; pinned nodes stay exclusive to
+	// their observed service, per the §3.1 isolation methodology).
+	pinned := map[string]bool{}
+	pinnedNodes := map[string]bool{}
+	for _, svc := range cfg.Spec.PlacedServices() {
+		if node, ok := cfg.PinTo[svc]; ok {
+			orch.DeployPinned(svc, node)
+			pinned[svc] = true
+			pinnedNodes[node] = true
+		}
+	}
+	var rest []string
+	for _, svc := range cfg.Spec.PlacedServices() {
+		if !pinned[svc] {
+			rest = append(rest, svc)
+		}
+	}
+	var free []*cluster.Server
+	for _, n := range cl.Workers() {
+		if !pinnedNodes[n.Name()] {
+			free = append(free, n)
+		}
+	}
+	orch.DeployRoundRobinOver(rest, free)
+
+	col := trace.NewCollector()
+	col.KeepSpans = cfg.KeepSpans
+	exec := app.NewExecutor(eng, cfg.Spec, orch, col, eng.RNG().Stream("exec"))
+
+	model := power.DefaultModel()
+	meter := power.NewMeter(cl, model, cfg.MeterInterval)
+	budget := power.NewBudget(model, cl.Size(), cfg.BudgetFraction)
+	budget.Base = cfg.MaxRequired
+	ctx := &schemes.Context{Cluster: cl, Meter: meter, Budget: budget, Orch: orch}
+
+	res := &Result{
+		Config: cfg, Engine: eng, Cluster: cl, Orch: orch, Meter: meter,
+		Collector: col, Executor: exec, Budget: budget,
+		WarmupEnd:  sim.Time(cfg.Warmup),
+		FreqSeries: make(map[string][]FreqPoint),
+	}
+
+	var scheme schemes.Scheme
+	var launcher workload.Launcher = exec
+	switch cfg.Scheme {
+	case Baseline:
+		scheme = schemes.NewBaseline(ctx)
+	case Capping:
+		scheme = schemes.NewCapping(ctx)
+	case PFirst:
+		scheme = schemes.NewPFirst(ctx)
+	case TFirst:
+		scheme = schemes.NewTFirst(ctx, cfg.Spec)
+	case ServiceFridge:
+		f := fridge.New(ctx, cfg.Spec)
+		if cfg.Tune != nil {
+			cfg.Tune(f)
+		}
+		res.Fridge = f
+		scheme = f
+		launcher = f.WrapLauncher(exec)
+	default:
+		panic(fmt.Sprintf("engine: unknown scheme %q", cfg.Scheme))
+	}
+
+	res.Gen = workload.NewClosedLoop(eng, launcher, eng.RNG().Stream("workload"), cfg.Mix, cfg.Think)
+	res.Pools = make(map[string]*workload.ClosedLoop)
+	res.OpenLoops = make(map[string]*workload.OpenLoop)
+	for _, region := range cfg.Spec.RegionNames() {
+		regionMix := workload.NewMix([]string{region}, map[string]float64{region: 1})
+		if n, ok := cfg.PoolWorkers[region]; ok && n > 0 {
+			pool := workload.NewClosedLoop(eng, launcher,
+				eng.RNG().Stream("workload-"+region), regionMix, cfg.Think)
+			res.Pools[region] = pool
+		}
+		if rate, ok := cfg.OpenLoopRate[region]; ok && rate > 0 {
+			ol := workload.NewOpenLoop(eng, launcher,
+				eng.RNG().Stream("openloop-"+region), regionMix)
+			res.OpenLoops[region] = ol
+		}
+	}
+
+	// Wiring at t=0: fixed frequencies, meter, control loop, workload.
+	for node, f := range cfg.FixedFreqs {
+		s := cl.Server(node)
+		if s == nil {
+			panic(fmt.Sprintf("engine: FixedFreqs names unknown node %q", node))
+		}
+		s.SetFreq(f)
+	}
+	meter.Start()
+	if cfg.Scheme != Baseline || len(cfg.FixedFreqs) == 0 {
+		// Baseline with fixed frequencies must not reset them each tick.
+		eng.Every(cfg.ControlInterval, scheme.Tick)
+	}
+	if len(cfg.TrackFreqOf) > 0 {
+		eng.Every(cfg.MeterInterval, func() {
+			for _, svc := range cfg.TrackFreqOf {
+				nodes := orch.NodesOf(svc)
+				if len(nodes) == 0 {
+					continue
+				}
+				res.FreqSeries[svc] = append(res.FreqSeries[svc], FreqPoint{
+					At: eng.Now(), Freq: nodes[0].Freq(),
+				})
+			}
+		})
+	}
+	if cfg.Workers > 0 {
+		res.Gen.SetWorkers(cfg.Workers)
+	}
+	for _, region := range cfg.Spec.RegionNames() {
+		if pool, ok := res.Pools[region]; ok {
+			n := cfg.PoolWorkers[region]
+			eng.Schedule(0, func() { pool.SetWorkers(n) })
+		}
+		if ol, ok := res.OpenLoops[region]; ok {
+			rate := cfg.OpenLoopRate[region]
+			eng.Schedule(0, func() { ol.SetRate(rate) })
+		}
+	}
+	if len(cfg.Phases) > 0 {
+		res.Gen.Schedule(cfg.Phases)
+	}
+	return res
+}
+
+// Run builds and executes the experiment to completion.
+func Run(cfg Config) *Result {
+	res := Build(cfg)
+	cfg = res.Config
+	total := cfg.Warmup + cfg.Duration
+	if ph := phaseLength(cfg.Phases); ph > total {
+		total = ph
+	}
+	res.Engine.RunUntil(sim.Time(total))
+	res.Gen.Stop()
+	for _, pool := range res.Pools {
+		pool.Stop()
+	}
+	for _, ol := range res.OpenLoops {
+		ol.SetRate(0)
+	}
+	return res
+}
+
+// CalibrateMaxRequired measures the maximum required power of a workload:
+// it runs the configuration uncapped (Baseline at 100%) and returns the
+// peak cluster draw, the base the paper's §6 budget percentages refer to.
+func CalibrateMaxRequired(cfg Config) power.Watts {
+	cfg.Scheme = Baseline
+	cfg.BudgetFraction = 1.0
+	cfg.MaxRequired = 0
+	res := Run(cfg)
+	var peak power.Watts
+	for _, cs := range res.Meter.ClusterSamples() {
+		if cs.Total > peak {
+			peak = cs.Total
+		}
+	}
+	return peak
+}
+
+func phaseLength(phases []workload.Phase) time.Duration {
+	var t time.Duration
+	for _, p := range phases {
+		t += p.Duration
+	}
+	return t
+}

@@ -1,0 +1,663 @@
+// Package fridge implements ServiceFridge (§5): the MCF-driven power
+// management coordination framework. It couples the container orchestrator
+// with the per-server DVFS knobs through three mechanisms:
+//
+//  1. Cross-layer scheduling: an MCF Calculator classifies microservices
+//     into high/uncertain/low criticality from the live bipartite-graph
+//     indegree counters and the offline profiles.
+//  2. Differentiated power management: servers are logically partitioned
+//     into a cold zone (no power limiting, hosts high-MCF services), a
+//     warm zone (buffer, uncertain MCF) and a hot zone (aggressive capping,
+//     low MCF). The same capping strategy applies within a zone.
+//  3. Dynamic and fast scaling: Algorithm 1 promotes/demotes criticality
+//     from warm-zone utilization, and services migrate between zones with
+//     the orchestrator's start-new-then-kill-old strategy.
+package fridge
+
+import (
+	"sort"
+
+	"servicefridge/internal/app"
+	"servicefridge/internal/cluster"
+	"servicefridge/internal/core"
+	"servicefridge/internal/power"
+	"servicefridge/internal/schemes"
+	"servicefridge/internal/trace"
+	"servicefridge/internal/workload"
+)
+
+// Zone identifies one of the three logical server groups.
+type Zone int
+
+const (
+	// Hot zone: aggressive capping, low-criticality services.
+	Hot Zone = iota
+	// Warm zone: moderate capping, uncertain criticality.
+	Warm
+	// Cold zone: never capped, high criticality.
+	Cold
+)
+
+func (z Zone) String() string {
+	switch z {
+	case Hot:
+		return "hot"
+	case Warm:
+		return "warm"
+	case Cold:
+		return "cold"
+	default:
+		return "invalid"
+	}
+}
+
+// zoneOf maps a criticality level to its zone.
+func zoneOf(c core.Criticality) Zone {
+	switch c {
+	case core.High:
+		return Cold
+	case core.Uncertain:
+		return Warm
+	default:
+		return Hot
+	}
+}
+
+// Fridge is the ServiceFridge controller.
+type Fridge struct {
+	ctx  *schemes.Context
+	spec *app.Spec
+
+	calc       *core.Calculator
+	classifier *core.Classifier
+	counter    *core.Counter
+
+	// Alpha and Beta are Algorithm 1's maximum/minimum warm-zone
+	// utilization bounds.
+	Alpha, Beta float64
+	// LoadOverride, when non-nil, replaces the live region load in the
+	// MCF computation — the mis-estimation experiments of Figure 14
+	// inject wrong request proportions here.
+	LoadOverride map[string]float64
+	// MigrateServices controls whether the controller actually moves
+	// containers between zones (true in full ServiceFridge; the ablation
+	// benchmarks disable it to isolate the zoning benefit).
+	MigrateServices bool
+
+	// adjust holds Algorithm-1 promotions (+1) and demotions (-1),
+	// keyed by service; adjustBase remembers the classifier level the
+	// adjustment was made against so stale adjustments expire.
+	adjust     map[string]int
+	adjustBase map[string]core.Criticality
+
+	// zone state from the last tick.
+	zoneServers map[Zone][]*cluster.Server
+	zoneFreq    map[Zone]cluster.GHz
+	levels      map[string]core.Criticality
+
+	ticks      uint64
+	promotions uint64
+	demotions  uint64
+}
+
+// New builds a ServiceFridge over the shared scheme context and the
+// application's offline analysis.
+func New(ctx *schemes.Context, spec *app.Spec) *Fridge {
+	g := core.BuildGraph(spec)
+	calc := core.NewCalculator(g)
+	f := &Fridge{
+		ctx:             ctx,
+		spec:            spec,
+		calc:            calc,
+		classifier:      core.NewClassifier(calc),
+		counter:         core.NewCounter(g),
+		Alpha:           0.75,
+		Beta:            0.25,
+		MigrateServices: true,
+		adjust:          make(map[string]int),
+		adjustBase:      make(map[string]core.Criticality),
+		zoneServers:     make(map[Zone][]*cluster.Server),
+		zoneFreq: map[Zone]cluster.GHz{
+			Hot: cluster.FreqMax, Warm: cluster.FreqMax, Cold: cluster.FreqMax,
+		},
+		levels: make(map[string]core.Criticality),
+	}
+	return f
+}
+
+// Name implements schemes.Scheme (Table 3 calls it "ServiceFridge").
+func (f *Fridge) Name() string { return "ServiceFridge" }
+
+// Calculator exposes the MCF calculator (for reports).
+func (f *Fridge) Calculator() *core.Calculator { return f.calc }
+
+// Classifier exposes the criticality classifier (for tuning).
+func (f *Fridge) Classifier() *core.Classifier { return f.classifier }
+
+// Counter exposes the live indegree counters.
+func (f *Fridge) Counter() *core.Counter { return f.counter }
+
+// Promotions and Demotions count Algorithm 1 actions.
+func (f *Fridge) Promotions() uint64 { return f.promotions }
+
+// Demotions returns the number of Algorithm 1 demotions.
+func (f *Fridge) Demotions() uint64 { return f.demotions }
+
+// Levels returns the current criticality per service (after adjustments).
+func (f *Fridge) Levels() map[string]core.Criticality {
+	out := make(map[string]core.Criticality, len(f.levels))
+	for s, l := range f.levels {
+		out[s] = l
+	}
+	return out
+}
+
+// ZoneServers returns the servers of a zone from the last tick. The
+// manager node is always part of the cold zone.
+func (f *Fridge) ZoneServers(z Zone) []*cluster.Server {
+	return append([]*cluster.Server(nil), f.zoneServers[z]...)
+}
+
+// ZoneFreq returns a zone's current frequency setting.
+func (f *Fridge) ZoneFreq(z Zone) cluster.GHz { return f.zoneFreq[z] }
+
+// WrapLauncher interposes the fridge on the request path so the indegree
+// counters observe every request arrival and completion — the scheduling
+// engine insertion of Figure 9.
+func (f *Fridge) WrapLauncher(inner workload.Launcher) workload.Launcher {
+	return launcherFunc(func(region string, onDone func(*trace.Trace)) {
+		f.counter.Observe(region)
+		inner.Launch(region, func(tr *trace.Trace) {
+			f.counter.Complete(region)
+			if onDone != nil {
+				onDone(tr)
+			}
+		})
+	})
+}
+
+type launcherFunc func(region string, onDone func(*trace.Trace))
+
+func (fn launcherFunc) Launch(region string, onDone func(*trace.Trace)) { fn(region, onDone) }
+
+// load returns the region load driving this tick's MCF computation.
+func (f *Fridge) load() map[string]float64 {
+	if f.LoadOverride != nil {
+		return f.LoadOverride
+	}
+	return f.counter.RegionLoad()
+}
+
+// Tick implements schemes.Scheme: one control interval of the
+// ServiceFridge Controller.
+func (f *Fridge) Tick() {
+	f.ticks++
+	f.counter.Advance()
+	load := f.load()
+	if len(load) == 0 {
+		// No live traffic: keep everything at full speed (the budget is
+		// trivially met at idle).
+		f.ctx.Cluster.SetAllFreq(cluster.FreqMax)
+		return
+	}
+
+	// 1. Classify from MCF, then apply Algorithm 1 adjustments.
+	base := f.classifier.Classify(load)
+	f.levels = f.applyAdjust(base)
+
+	// 2. Size and assign zones.
+	f.assignZones(load)
+
+	// 3. Migrate services to their zones.
+	if f.MigrateServices {
+		f.migrate()
+	}
+
+	// 4. Algorithm 1: promote/demote from warm-zone utilization, to take
+	// effect next tick.
+	f.autoScale()
+
+	// 5. Set zone frequencies to fit the budget (cold never capped).
+	f.setZoneFrequencies()
+}
+
+// applyAdjust overlays promotions/demotions on the base classification,
+// expiring adjustments whose base level changed.
+func (f *Fridge) applyAdjust(base map[string]core.Criticality) map[string]core.Criticality {
+	out := make(map[string]core.Criticality, len(base))
+	for s, lvl := range base {
+		if prev, ok := f.adjustBase[s]; ok && prev != lvl {
+			delete(f.adjust, s)
+			delete(f.adjustBase, s)
+		}
+		adj := int(lvl) + f.adjust[s]
+		if adj < int(core.Low) {
+			adj = int(core.Low)
+		}
+		if adj > int(core.High) {
+			adj = int(core.High)
+		}
+		out[s] = core.Criticality(adj)
+	}
+	return out
+}
+
+// servicesAt returns the function services at a level, sorted by
+// descending MCF so heavy services spread across zone servers first.
+func (f *Fridge) servicesAt(lvl core.Criticality, load map[string]float64) []string {
+	mcf := f.calc.MCF(load, cluster.FreqMax)
+	var out []string
+	for s, l := range f.levels {
+		if l == lvl {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if mcf[out[i]] != mcf[out[j]] {
+			return mcf[out[i]] > mcf[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// assignZones partitions the worker servers across zones proportionally to
+// each level's aggregate MCF demand (Figure 9's hot/warm/cold server
+// numbers). The manager node always belongs to the cold zone.
+func (f *Fridge) assignZones(load map[string]float64) {
+	var workers []*cluster.Server
+	var manager *cluster.Server
+	for _, s := range f.ctx.Cluster.Servers() {
+		if s.Role() == cluster.RoleManager {
+			manager = s
+		} else {
+			workers = append(workers, s)
+		}
+	}
+	n := len(workers)
+	mcf := f.calc.MCF(load, cluster.FreqMax)
+	demand := map[Zone]float64{}
+	for s, lvl := range f.levels {
+		demand[zoneOf(lvl)] += mcf[s]
+	}
+	var total float64
+	for _, d := range demand {
+		total += d
+	}
+
+	counts := map[Zone]int{}
+	if total == 0 || n == 0 {
+		counts[Warm] = n
+	} else {
+		// Largest-remainder allocation with a floor of 1 server for any
+		// zone with demand.
+		zones := []Zone{Cold, Warm, Hot}
+		remaining := n
+		type frac struct {
+			z Zone
+			f float64
+		}
+		var fracs []frac
+		for _, z := range zones {
+			if demand[z] <= 0 {
+				continue
+			}
+			exact := demand[z] / total * float64(n)
+			c := int(exact)
+			if c < 1 {
+				c = 1
+			}
+			counts[z] = c
+			remaining -= c
+			fracs = append(fracs, frac{z, exact - float64(int(exact))})
+		}
+		sort.Slice(fracs, func(i, j int) bool {
+			if fracs[i].f != fracs[j].f {
+				return fracs[i].f > fracs[j].f
+			}
+			return fracs[i].z > fracs[j].z
+		})
+		for _, fr := range fracs {
+			if remaining <= 0 {
+				break
+			}
+			counts[fr.z]++
+			remaining--
+		}
+		// Over-allocation (floors exceeded n): trim from the hot end.
+		for _, z := range []Zone{Hot, Warm, Cold} {
+			for remaining < 0 && counts[z] > 1 {
+				counts[z]--
+				remaining++
+			}
+		}
+		for _, z := range []Zone{Hot, Warm} {
+			for remaining < 0 && counts[z] > 0 {
+				counts[z]--
+				remaining++
+			}
+		}
+		if remaining > 0 {
+			counts[Warm] += remaining
+		}
+	}
+
+	f.zoneServers = map[Zone][]*cluster.Server{}
+	idx := 0
+	for _, z := range []Zone{Cold, Warm, Hot} {
+		for k := 0; k < counts[z] && idx < n; k++ {
+			f.zoneServers[z] = append(f.zoneServers[z], workers[idx])
+			idx++
+		}
+	}
+	// Any leftover workers (rounding) join the hot zone.
+	for ; idx < n; idx++ {
+		f.zoneServers[Hot] = append(f.zoneServers[Hot], workers[idx])
+	}
+	if manager != nil {
+		f.zoneServers[Cold] = append(f.zoneServers[Cold], manager)
+	}
+}
+
+// zoneForPlacement returns the servers of z usable for container
+// placement, falling back toward warmer zones when z is empty.
+func (f *Fridge) zoneForPlacement(z Zone) []*cluster.Server {
+	for _, cand := range placementFallback[z] {
+		if len(f.zoneServers[cand]) > 0 {
+			return f.zoneServers[cand]
+		}
+	}
+	return nil
+}
+
+var placementFallback = map[Zone][]Zone{
+	Cold: {Cold, Warm, Hot},
+	Warm: {Warm, Cold, Hot},
+	Hot:  {Hot, Warm, Cold},
+}
+
+// migrate moves every function service onto a server of its zone. Within
+// a zone, services are packed greedily by descending MCF onto the
+// least-loaded server (load = accumulated MCF of services already assigned
+// there), so two heavy services never share a node while another idles.
+// A service already on an acceptable server stays put to limit churn.
+func (f *Fridge) migrate() {
+	load := f.load()
+	mcf := f.calc.MCF(load, cluster.FreqMax)
+	assigned := map[string]float64{} // server -> accumulated MCF
+	for _, lvl := range []core.Criticality{core.High, core.Uncertain, core.Low} {
+		services := f.servicesAt(lvl, load)
+		servers := f.zoneForPlacement(zoneOf(lvl))
+		if len(servers) == 0 {
+			continue
+		}
+		inZone := map[string]bool{}
+		for _, s := range servers {
+			inZone[s.Name()] = true
+		}
+		for _, svc := range services {
+			// Preserve the service's replica count: a scaled-out service
+			// keeps k instances, now on the zone's k least-loaded nodes.
+			k := len(f.ctx.Orch.NodesOf(svc))
+			if k < 1 {
+				k = 1
+			}
+			if k > len(servers) {
+				k = len(servers)
+			}
+			targets := make([]*cluster.Server, 0, k)
+			used := map[string]bool{}
+			// Sticky placement first: keep hosts already in the zone.
+			for _, n := range f.ctx.Orch.NodesOf(svc) {
+				if len(targets) == k {
+					break
+				}
+				if inZone[n.Name()] && !used[n.Name()] {
+					targets = append(targets, n)
+					used[n.Name()] = true
+				}
+			}
+			for len(targets) < k {
+				var target *cluster.Server
+				for _, s := range servers {
+					if used[s.Name()] {
+						continue
+					}
+					if target == nil || assigned[s.Name()] < assigned[target.Name()] {
+						target = s
+					}
+				}
+				if target == nil {
+					break
+				}
+				targets = append(targets, target)
+				used[target.Name()] = true
+			}
+			share := mcf[svc] / float64(len(targets))
+			for _, n := range targets {
+				assigned[n.Name()] += share
+			}
+			f.ctx.Orch.MoveService(svc, targets)
+		}
+	}
+}
+
+// demoteForPower demotes the lowest-MCF high-criticality service one
+// level, releasing cold-zone capacity when the budget cannot be met by
+// throttling the hot and warm zones alone.
+func (f *Fridge) demoteForPower() {
+	load := f.load()
+	high := f.servicesAt(core.High, load)
+	if len(high) == 0 {
+		return
+	}
+	f.bump(high[len(high)-1], -1)
+	f.demotions++
+}
+
+// autoScale is Algorithm 1: when the warm zone runs hot (mean utilization
+// above Alpha), the services on its most-utilized server are promoted;
+// when it idles below Beta, the services on its least-utilized server are
+// demoted.
+func (f *Fridge) autoScale() {
+	warm := f.zoneServers[Warm]
+	if len(warm) == 0 {
+		return
+	}
+	var sum float64
+	utils := make(map[string]float64, len(warm))
+	sampled := 0
+	for _, s := range warm {
+		if smp, ok := f.ctx.Meter.LastServer(s.Name()); ok {
+			utils[s.Name()] = smp.Util
+			sum += smp.Util
+			sampled++
+		}
+	}
+	if sampled == 0 {
+		return
+	}
+	mean := sum / float64(sampled)
+	// Promotion hysteresis: only promote when the draw sits comfortably
+	// below the cap (90%), so a promotion cannot immediately re-violate
+	// the budget and trigger a demote-promote oscillation.
+	headroom := true
+	if last, ok := f.ctx.Meter.LastCluster(); ok {
+		headroom = last.Total < f.ctx.Budget.Cap()*0.9
+	}
+	switch {
+	case mean > f.Alpha && headroom:
+		// Promote the criticality of services on the max-utilization node
+		// (§5.3: promotion only when power is abundant).
+		victim := maxUtilServer(warm, utils)
+		for _, svc := range f.ctx.Orch.ServicesOn(victim) {
+			if f.isFunction(svc) && f.levels[svc] != core.High {
+				f.bump(svc, +1)
+				f.promotions++
+			}
+		}
+	case mean < f.Beta:
+		victim := minUtilServer(warm, utils)
+		for _, svc := range f.ctx.Orch.ServicesOn(victim) {
+			if f.isFunction(svc) && f.levels[svc] != core.Low {
+				f.bump(svc, -1)
+				f.demotions++
+			}
+		}
+	}
+}
+
+func (f *Fridge) isFunction(svc string) bool {
+	ms := f.spec.Service(svc)
+	return ms != nil && ms.Kind == app.KindFunction
+}
+
+func (f *Fridge) bump(svc string, delta int) {
+	cur, ok := f.levels[svc]
+	if !ok {
+		return
+	}
+	f.adjust[svc] += delta
+	if f.adjust[svc] > 2 {
+		f.adjust[svc] = 2
+	}
+	if f.adjust[svc] < -2 {
+		f.adjust[svc] = -2
+	}
+	// Remember the base level so the adjustment expires when the
+	// classifier moves the service on its own.
+	base := int(cur) - (f.adjust[svc] - delta)
+	if base >= int(core.Low) && base <= int(core.High) {
+		f.adjustBase[svc] = core.Criticality(base)
+	}
+}
+
+func maxUtilServer(servers []*cluster.Server, utils map[string]float64) *cluster.Server {
+	best := servers[0]
+	for _, s := range servers[1:] {
+		if utils[s.Name()] > utils[best.Name()] {
+			best = s
+		}
+	}
+	return best
+}
+
+func minUtilServer(servers []*cluster.Server, utils map[string]float64) *cluster.Server {
+	best := servers[0]
+	for _, s := range servers[1:] {
+		if utils[s.Name()] < utils[best.Name()] {
+			best = s
+		}
+	}
+	return best
+}
+
+// setZoneFrequencies fits the cluster under the budget: the cold zone is
+// pinned at FreqMax; the hot zone throttles first and deepest, then the
+// warm zone; with headroom the warm zone recovers first (§5.3).
+func (f *Fridge) setZoneFrequencies() {
+	ctx := f.ctx
+	loads := fridgeServerLoads(ctx)
+	capW := ctx.Budget.Cap()
+
+	warmF := cluster.FreqMax
+	hotF := cluster.FreqMax
+	predict := func() bool {
+		return f.predictTotal(loads, warmF, hotF) <= capW
+	}
+	for guard := 0; guard < 26 && !predict(); guard++ {
+		if hotF > cluster.FreqMin {
+			hotF = cluster.StepDown(hotF)
+		} else if warmF > cluster.FreqMin {
+			warmF = cluster.StepDown(warmF)
+		} else {
+			break // cold zone is never capped
+		}
+	}
+	f.zoneFreq[Cold] = cluster.FreqMax
+	f.zoneFreq[Warm] = warmF
+	f.zoneFreq[Hot] = hotF
+	// Power shortage even with hot and warm fully throttled: the cold
+	// zone is too large for the budget. Demote the least critical
+	// high-criticality service so the next tick shrinks the cold zone
+	// (§5.3: the controller demotes based on available power resources).
+	if !predict() && warmF == cluster.FreqMin && hotF == cluster.FreqMin {
+		f.demoteForPower()
+	}
+	for _, s := range f.zoneServers[Cold] {
+		s.SetFreq(cluster.FreqMax)
+	}
+	for _, s := range f.zoneServers[Warm] {
+		s.SetFreq(f.guardCritical(s, warmF))
+	}
+	for _, s := range f.zoneServers[Hot] {
+		s.SetFreq(f.guardCritical(s, hotF))
+	}
+}
+
+// guardCritical keeps a server at FreqMax while it still hosts an active
+// high-criticality instance — e.g. mid-migration, when the old container
+// keeps serving until its replacement in the cold zone activates. §6.3:
+// "ServiceFridge always guarantees the frequency of critical
+// microservices at 2.4GHz."
+func (f *Fridge) guardCritical(s *cluster.Server, want cluster.GHz) cluster.GHz {
+	if want == cluster.FreqMax {
+		return want
+	}
+	for _, svc := range f.ctx.Orch.ServicesOn(s) {
+		if f.levels[svc] == core.High && f.isFunction(svc) {
+			return cluster.FreqMax
+		}
+	}
+	return want
+}
+
+func (f *Fridge) predictTotal(loads map[string]float64, warmF, hotF cluster.GHz) (total power.Watts) {
+	m := f.ctx.Meter.Model()
+	freqOf := func(s *cluster.Server) cluster.GHz {
+		switch f.zoneOfServer(s) {
+		case Warm:
+			return warmF
+		case Hot:
+			return hotF
+		default:
+			return cluster.FreqMax
+		}
+	}
+	for _, s := range f.ctx.Cluster.Servers() {
+		fq := freqOf(s)
+		util := loads[s.Name()] * float64(cluster.FreqMax) / float64(fq)
+		if util > 1 {
+			util = 1
+		}
+		total += m.Power(fq, util)
+	}
+	return total
+}
+
+func (f *Fridge) zoneOfServer(s *cluster.Server) Zone {
+	for _, z := range []Zone{Cold, Warm, Hot} {
+		for _, zs := range f.zoneServers[z] {
+			if zs == s {
+				return z
+			}
+		}
+	}
+	return Cold
+}
+
+func fridgeServerLoads(ctx *schemes.Context) map[string]float64 {
+	out := make(map[string]float64, ctx.Cluster.Size())
+	for _, s := range ctx.Cluster.Servers() {
+		switch smp, ok := ctx.Meter.LastServer(s.Name()); {
+		case s.QueueLen() > 0:
+			// Backlogged servers are saturated at any P-state.
+			out[s.Name()] = 1
+		case ok:
+			out[s.Name()] = smp.Util * float64(smp.Freq) / float64(cluster.FreqMax)
+		default:
+			out[s.Name()] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVBasic(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.Row("1", "2")
+	tb.Row("3", "4")
+	got := tb.CSV()
+	want := "a,b\n1,2\n3,4\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("t", "name", "note")
+	tb.Row("x,y", `say "hi"`)
+	tb.Row("line\nbreak", "plain")
+	got := tb.CSV()
+	if !strings.Contains(got, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %q", got)
+	}
+	if !strings.Contains(got, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped: %q", got)
+	}
+	if !strings.Contains(got, "\"line\nbreak\"") {
+		t.Fatalf("newline cell not quoted: %q", got)
+	}
+}
+
+func TestCSVOmitsTitle(t *testing.T) {
+	tb := NewTable("My Title", "h")
+	tb.Row("v")
+	if strings.Contains(tb.CSV(), "My Title") {
+		t.Fatal("CSV must not include the title line")
+	}
+}

@@ -1,0 +1,322 @@
+// Package metrics provides the statistics the paper reports: mean response
+// time, percentile tail latencies (p90/p95/p99), response-time CDFs
+// (Figure 5), execution-time histograms (Figure 3's heatmap), and
+// normalized summaries (Figure 15 normalizes service time to the
+// unthrottled baseline).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LatencyStats accumulates duration samples and answers the paper's
+// latency questions. Percentiles are exact (samples are retained); the
+// experiments are bounded, so memory is not a concern.
+type LatencyStats struct {
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+}
+
+// NewLatencyStats returns an empty accumulator.
+func NewLatencyStats() *LatencyStats { return &LatencyStats{} }
+
+// FromSamples wraps an existing slice (copied).
+func FromSamples(ds []time.Duration) *LatencyStats {
+	s := NewLatencyStats()
+	for _, d := range ds {
+		s.Add(d)
+	}
+	return s
+}
+
+// Add records one sample.
+func (s *LatencyStats) Add(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.sum += d
+	s.sorted = false
+}
+
+// Count returns the number of samples.
+func (s *LatencyStats) Count() int { return len(s.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (s *LatencyStats) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / time.Duration(len(s.samples))
+}
+
+func (s *LatencyStats) sort() {
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+}
+
+// Percentile returns the q-quantile (q in [0,1]) with linear interpolation.
+func (s *LatencyStats) Percentile(q float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	if q <= 0 {
+		return s.samples[0]
+	}
+	if q >= 1 {
+		return s.samples[len(s.samples)-1]
+	}
+	pos := q * float64(len(s.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return s.samples[lo] + time.Duration(frac*float64(s.samples[hi]-s.samples[lo]))
+}
+
+// P90, P95 and P99 are the tail percentiles of Figure 15.
+func (s *LatencyStats) P90() time.Duration { return s.Percentile(0.90) }
+
+// P95 returns the 95th percentile.
+func (s *LatencyStats) P95() time.Duration { return s.Percentile(0.95) }
+
+// P99 returns the 99th percentile.
+func (s *LatencyStats) P99() time.Duration { return s.Percentile(0.99) }
+
+// Min returns the smallest sample.
+func (s *LatencyStats) Min() time.Duration { return s.Percentile(0) }
+
+// Max returns the largest sample.
+func (s *LatencyStats) Max() time.Duration { return s.Percentile(1) }
+
+// StdDev returns the population standard deviation.
+func (s *LatencyStats) StdDev() time.Duration {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var acc float64
+	for _, d := range s.samples {
+		diff := float64(d) - mean
+		acc += diff * diff
+	}
+	return time.Duration(math.Sqrt(acc / float64(n)))
+}
+
+// Summary is the row shape of the paper's QoS tables.
+type Summary struct {
+	Count            int
+	Mean             time.Duration
+	P90, P95, P99    time.Duration
+	Min, Max, StdDev time.Duration
+}
+
+// Summarize computes all fields at once.
+func (s *LatencyStats) Summarize() Summary {
+	return Summary{
+		Count: s.Count(), Mean: s.Mean(),
+		P90: s.P90(), P95: s.P95(), P99: s.P99(),
+		Min: s.Min(), Max: s.Max(), StdDev: s.StdDev(),
+	}
+}
+
+// NormalizedSummary expresses a summary relative to a baseline duration,
+// as Figure 15 normalizes to the no-throttling execution time.
+type NormalizedSummary struct {
+	Mean, P90, P95, P99 float64
+}
+
+// NormalizeTo divides the summary's latencies by base.
+func (s Summary) NormalizeTo(base time.Duration) NormalizedSummary {
+	if base <= 0 {
+		return NormalizedSummary{}
+	}
+	f := func(d time.Duration) float64 { return float64(d) / float64(base) }
+	return NormalizedSummary{Mean: f(s.Mean), P90: f(s.P90), P95: f(s.P95), P99: f(s.P99)}
+}
+
+// CDFPoint is one (latency, cumulative fraction) point.
+type CDFPoint struct {
+	Value time.Duration
+	Frac  float64
+}
+
+// CDF returns n evenly spaced quantile points, suitable for plotting the
+// response-time CDFs of Figure 5.
+func (s *LatencyStats) CDF(n int) []CDFPoint {
+	if n < 2 || len(s.samples) == 0 {
+		return nil
+	}
+	out := make([]CDFPoint, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		out[i] = CDFPoint{Value: s.Percentile(q), Frac: q}
+	}
+	return out
+}
+
+// Histogram counts samples into explicit right-closed bins, the form of
+// Figure 3's x-axis intervals ("(0.9,1.0] ... (18.4,20.2] ms").
+type Histogram struct {
+	// Edges are the n+1 boundaries of n bins, ascending.
+	Edges []time.Duration
+	// Counts[i] counts samples in (Edges[i], Edges[i+1]].
+	Counts []int
+	// Under and Over count samples outside the edge range.
+	Under, Over int
+}
+
+// NewHistogram builds a histogram over the given edges.
+func NewHistogram(edges []time.Duration) *Histogram {
+	if len(edges) < 2 {
+		panic("metrics: histogram needs at least two edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("metrics: histogram edges must ascend")
+		}
+	}
+	return &Histogram{Edges: edges, Counts: make([]int, len(edges)-1)}
+}
+
+// Add bins one sample.
+func (h *Histogram) Add(d time.Duration) {
+	if d <= h.Edges[0] {
+		h.Under++
+		return
+	}
+	if d > h.Edges[len(h.Edges)-1] {
+		h.Over++
+		return
+	}
+	i := sort.Search(len(h.Edges), func(i int) bool { return h.Edges[i] >= d })
+	h.Counts[i-1]++
+}
+
+// Total returns the number of in-range samples.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Fractions returns per-bin fractions of in-range samples (0s if empty).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	total := h.Total()
+	if total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// Table renders aligned text tables for the experiment harness. Cells are
+// strings; the first row is the header.
+type Table struct {
+	Title string
+	rows  [][]string
+}
+
+// NewTable creates a table with the given header cells.
+func NewTable(title string, header ...string) *Table {
+	t := &Table{Title: title}
+	t.rows = append(t.rows, header)
+	return t
+}
+
+// Row appends a row; extra/missing cells relative to the header are
+// allowed but discouraged.
+func (t *Table) Row(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Rowf appends a row where each cell is formatted with %v.
+func (t *Table) Rowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case time.Duration:
+			row[i] = fmtDuration(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows (excluding the header).
+func (t *Table) NumRows() int { return len(t.rows) - 1 }
+
+func fmtDuration(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := map[int]int{}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	for ri, row := range t.rows {
+		for i, c := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			total := 0
+			for i := range row {
+				total += widths[i] + 2
+			}
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-style comma-separated values (header
+// first, no title line), for feeding plots.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Ms formats a duration as fractional milliseconds, the unit of every
+// figure in the paper.
+func Ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

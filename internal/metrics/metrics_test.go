@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func msd(n float64) time.Duration { return time.Duration(n * float64(time.Millisecond)) }
+
+func TestLatencyStatsBasics(t *testing.T) {
+	s := NewLatencyStats()
+	if s.Mean() != 0 || s.Count() != 0 || s.Percentile(0.5) != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+	for _, v := range []float64{10, 20, 30, 40, 50} {
+		s.Add(msd(v))
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Mean() != msd(30) {
+		t.Fatalf("mean = %v, want 30ms", s.Mean())
+	}
+	if s.Min() != msd(10) || s.Max() != msd(50) {
+		t.Fatal("min/max wrong")
+	}
+	if s.Percentile(0.5) != msd(30) {
+		t.Fatalf("median = %v", s.Percentile(0.5))
+	}
+	if s.P90() != msd(46) {
+		t.Fatalf("p90 = %v, want 46ms", s.P90())
+	}
+}
+
+func TestLatencyStatsInterleavedAddAndQuery(t *testing.T) {
+	s := NewLatencyStats()
+	s.Add(msd(10))
+	_ = s.Percentile(0.5) // forces a sort
+	s.Add(msd(5))         // must invalidate sort
+	if s.Min() != msd(5) {
+		t.Fatal("sort invalidation broken")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	s := FromSamples([]time.Duration{msd(10), msd(10), msd(10)})
+	if s.StdDev() != 0 {
+		t.Fatalf("stddev of constant = %v", s.StdDev())
+	}
+	s2 := FromSamples([]time.Duration{msd(10), msd(20)})
+	if s2.StdDev() != msd(5) {
+		t.Fatalf("stddev = %v, want 5ms", s2.StdDev())
+	}
+}
+
+func TestSummaryAndNormalize(t *testing.T) {
+	s := FromSamples([]time.Duration{msd(10), msd(20), msd(30), msd(40), msd(100)})
+	sum := s.Summarize()
+	if sum.Count != 5 || sum.Mean != msd(40) {
+		t.Fatalf("summary = %+v", sum)
+	}
+	n := sum.NormalizeTo(msd(20))
+	if math.Abs(n.Mean-2.0) > 1e-9 {
+		t.Fatalf("normalized mean = %v, want 2", n.Mean)
+	}
+	zero := sum.NormalizeTo(0)
+	if zero.Mean != 0 {
+		t.Fatal("normalize to 0 should be zero")
+	}
+}
+
+func TestPercentileOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewLatencyStats()
+		for _, v := range raw {
+			s.Add(time.Duration(v))
+		}
+		// Percentiles are monotone and mean lies within [min, max].
+		last := time.Duration(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			p := s.Percentile(q)
+			if p < last {
+				return false
+			}
+			last = p
+		}
+		return s.Mean() >= s.Min() && s.Mean() <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	s := FromSamples([]time.Duration{msd(1), msd(2), msd(3), msd(4), msd(5)})
+	pts := s.CDF(5)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].Value != msd(1) || pts[0].Frac != 0 {
+		t.Fatalf("first point %+v", pts[0])
+	}
+	if pts[4].Value != msd(5) || pts[4].Frac != 1 {
+		t.Fatalf("last point %+v", pts[4])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].Frac <= pts[i-1].Frac {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if s2 := NewLatencyStats(); s2.CDF(5) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram([]time.Duration{msd(0), msd(1), msd(2), msd(5)})
+	h.Add(msd(0.5)) // bin 0
+	h.Add(msd(1))   // bin 0 (right-closed)
+	h.Add(msd(1.5)) // bin 1
+	h.Add(msd(4))   // bin 2
+	h.Add(msd(5))   // bin 2
+	h.Add(msd(6))   // over
+	h.Add(msd(0))   // under (left edge exclusive)
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[2] != 2 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Over != 1 || h.Under != 1 {
+		t.Fatalf("over/under = %d/%d", h.Over, h.Under)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	fr := h.Fractions()
+	if math.Abs(fr[0]-0.4) > 1e-9 {
+		t.Fatalf("fractions = %v", fr)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, edges := range [][]time.Duration{
+		{msd(1)},
+		{msd(2), msd(1)},
+		{msd(1), msd(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("edges %v should panic", edges)
+				}
+			}()
+			NewHistogram(edges)
+		}()
+	}
+}
+
+func TestHistogramFractionsEmpty(t *testing.T) {
+	h := NewHistogram([]time.Duration{msd(0), msd(1)})
+	fr := h.Fractions()
+	if len(fr) != 1 || fr[0] != 0 {
+		t.Fatalf("fractions = %v", fr)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "svc", "mean", "p99")
+	tb.Rowf("ticketinfo", msd(12.2), 1.5)
+	tb.Row("basic", "9.00ms", "1.200")
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "ticketinfo") || !strings.Contains(out, "12.20ms") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "1.500") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, header, rule, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestMs(t *testing.T) {
+	if Ms(msd(12.2)) != 12.2 {
+		t.Fatalf("Ms = %v", Ms(msd(12.2)))
+	}
+}

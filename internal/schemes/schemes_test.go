@@ -1,0 +1,209 @@
+package schemes
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"servicefridge/internal/app"
+	"servicefridge/internal/cluster"
+	"servicefridge/internal/orchestrator"
+	"servicefridge/internal/power"
+	"servicefridge/internal/sim"
+)
+
+// testContext builds a 5-node testbed with a meter and a given budget
+// fraction, plus a background load shape: nBusy servers fully loaded.
+func testContext(t *testing.T, fraction float64, busy int) (*sim.Engine, *Context) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cl := cluster.DefaultTestbed(eng)
+	orch := orchestrator.New(cl)
+	model := power.DefaultModel()
+	meter := power.NewMeter(cl, model, 100*time.Millisecond)
+	meter.Start()
+	for i, s := range cl.Servers() {
+		if i >= busy {
+			break
+		}
+		srv := s
+		var loop func()
+		loop = func() {
+			srv.Submit(&cluster.Job{Tag: "load", Demand: 50 * time.Millisecond, OnDone: loop})
+		}
+		for c := 0; c < srv.Cores(); c++ {
+			loop()
+		}
+	}
+	budget := power.NewBudget(model, cl.Size(), fraction)
+	return eng, &Context{Cluster: cl, Meter: meter, Budget: budget, Orch: orch}
+}
+
+func TestBaselineKeepsFreqMax(t *testing.T) {
+	eng, ctx := testContext(t, 0.5, 5)
+	b := NewBaseline(ctx)
+	ctx.Cluster.SetAllFreq(1.2)
+	eng.RunFor(time.Second)
+	b.Tick()
+	for _, s := range ctx.Cluster.Servers() {
+		if s.Freq() != cluster.FreqMax {
+			t.Fatalf("baseline left %s at %v", s.Name(), s.Freq())
+		}
+	}
+	if b.Name() != "Baseline" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestCappingChoosesUniformFrequencyUnderCap(t *testing.T) {
+	eng, ctx := testContext(t, 0.75, 5) // all servers saturated
+	c := NewCapping(ctx)
+	eng.RunFor(time.Second)
+	c.Tick()
+	f := ctx.Cluster.Servers()[0].Freq()
+	for _, s := range ctx.Cluster.Servers() {
+		if s.Freq() != f {
+			t.Fatal("capping must be uniform")
+		}
+	}
+	if f >= cluster.FreqMax {
+		t.Fatalf("75%% budget with full load should throttle, got %v", f)
+	}
+	// The chosen frequency must satisfy the cap for fully-loaded servers.
+	m := ctx.Meter.Model()
+	if got := m.PeakAt(f) * power.Watts(ctx.Cluster.Size()); got > ctx.Budget.Cap()+1e-9 {
+		t.Fatalf("predicted %v exceeds cap %v", got, ctx.Budget.Cap())
+	}
+	// And one step up must not.
+	if up := cluster.StepUp(f); up != f {
+		if got := m.PeakAt(up) * power.Watts(ctx.Cluster.Size()); got <= ctx.Budget.Cap() {
+			t.Fatalf("capping too conservative: %v would fit", up)
+		}
+	}
+}
+
+func TestCappingFullBudgetNoThrottle(t *testing.T) {
+	eng, ctx := testContext(t, 1.0, 5)
+	c := NewCapping(ctx)
+	eng.RunFor(time.Second)
+	c.Tick()
+	if f := ctx.Cluster.Servers()[0].Freq(); f != cluster.FreqMax {
+		t.Fatalf("100%% budget should not throttle, got %v", f)
+	}
+}
+
+func TestPFirstThrottlesBusyServersFirst(t *testing.T) {
+	eng, ctx := testContext(t, 0.6, 2) // two busy servers, three idle, tight cap
+	p := NewPFirst(ctx)
+	eng.RunFor(time.Second)
+	p.Tick()
+	servers := ctx.Cluster.Servers()
+	busy0, busy1 := servers[0].Freq(), servers[1].Freq()
+	idleMin := cluster.FreqMax
+	for _, s := range servers[2:] {
+		if s.Freq() < idleMin {
+			idleMin = s.Freq()
+		}
+	}
+	if busy0 >= idleMin && busy1 >= idleMin {
+		t.Fatalf("P-first should throttle the power-hungry servers first: busy %v/%v idle-min %v",
+			busy0, busy1, idleMin)
+	}
+}
+
+func TestPFirstRecoversWithHeadroom(t *testing.T) {
+	eng, ctx := testContext(t, 1.0, 0) // idle cluster, full budget
+	p := NewPFirst(ctx)
+	ctx.Cluster.SetAllFreq(1.2)
+	eng.RunFor(time.Second)
+	p.Tick()
+	for _, s := range ctx.Cluster.Servers() {
+		if s.Freq() != cluster.FreqMax {
+			t.Fatalf("with headroom %s stuck at %v", s.Name(), s.Freq())
+		}
+	}
+}
+
+func TestTFirstOrderIsFastestFirst(t *testing.T) {
+	_, ctx := testContext(t, 0.8, 0)
+	tf := NewTFirst(ctx, app.TwoRegionStudy())
+	order := tf.Order()
+	if len(order) != 8 {
+		t.Fatalf("order has %d services, want 8", len(order))
+	}
+	// Fastest profile: station (1.2ms in region B) first; seat (25.7ms,
+	// A only) last.
+	if order[0] != "station" {
+		t.Fatalf("fastest-first order starts with %s, want station (order: %v)", order[0], order)
+	}
+	if order[len(order)-1] != "seat" {
+		t.Fatalf("order ends with %s, want seat", order[len(order)-1])
+	}
+}
+
+func TestTFirstThrottlesFastServiceHostsFirst(t *testing.T) {
+	eng, ctx := testContext(t, 0.9, 5)
+	spec := app.TwoRegionStudy()
+	// Place station (fastest) on serverB, seat (slowest) on serverC3.
+	ctx.Orch.DeployPinned("station", "serverB")
+	ctx.Orch.DeployPinned("seat", "serverC3")
+	tf := NewTFirst(ctx, spec)
+	eng.RunFor(time.Second)
+	tf.Tick()
+	fast := ctx.Cluster.Server("serverB").Freq()
+	slow := ctx.Cluster.Server("serverC3").Freq()
+	if fast >= slow {
+		t.Fatalf("T-first should throttle the fast service's host first: station host %v, seat host %v",
+			fast, slow)
+	}
+}
+
+func TestSchemesKeepPredictionUnderCapWhenPossible(t *testing.T) {
+	for _, mk := range []func(*Context) Scheme{
+		func(c *Context) Scheme { return NewCapping(c) },
+		func(c *Context) Scheme { return NewPFirst(c) },
+	} {
+		eng, ctx := testContext(t, 0.7, 5)
+		s := mk(ctx)
+		eng.RunFor(time.Second)
+		s.Tick()
+		loads := serverLoads(ctx)
+		got := predictTotal(ctx, loads, func(sv *cluster.Server) cluster.GHz { return sv.Freq() })
+		if got > ctx.Budget.Cap()+1e-9 {
+			t.Fatalf("%s left predicted draw %v above cap %v", s.Name(), got, ctx.Budget.Cap())
+		}
+	}
+}
+
+func TestNormLoadRoundTrip(t *testing.T) {
+	// util u at frequency f represents u*f/fmax normalized work.
+	if math.Abs(normLoad(1.0, 1.2)-0.5) > 1e-9 {
+		t.Fatalf("normLoad(1, 1.2) = %v, want 0.5", normLoad(1.0, 1.2))
+	}
+	if math.Abs(normLoad(0.5, 2.4)-0.5) > 1e-9 {
+		t.Fatal("normLoad at fmax should equal util")
+	}
+}
+
+func TestPredictServerClampsUtil(t *testing.T) {
+	m := power.DefaultModel()
+	// Load 1.0 at the lowest frequency: utilization clamps to 1.
+	got := predictServer(m, 1.0, cluster.FreqMin)
+	if math.Abs(float64(got-m.PeakAt(cluster.FreqMin))) > 1e-9 {
+		t.Fatalf("predictServer = %v, want peak at fmin %v", got, m.PeakAt(cluster.FreqMin))
+	}
+}
+
+func TestServerLoadsQueueAware(t *testing.T) {
+	eng, ctx := testContext(t, 1.0, 0)
+	srv := ctx.Cluster.Servers()[0]
+	// One long job per core plus a backlog.
+	for i := 0; i < srv.Cores()+5; i++ {
+		srv.Submit(&cluster.Job{Tag: "x", Demand: 10 * time.Second})
+	}
+	eng.RunFor(time.Second)
+	loads := serverLoads(ctx)
+	if loads[srv.Name()] != 1 {
+		t.Fatalf("backlogged server load = %v, want 1", loads[srv.Name()])
+	}
+}

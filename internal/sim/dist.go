@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Dist is a distribution over durations. Implementations must be pure given
+// the supplied RNG: the same RNG state always yields the same sample.
+type Dist interface {
+	// Sample draws one duration. Samples are always >= 0.
+	Sample(r *RNG) time.Duration
+	// Mean returns the analytic mean of the distribution.
+	Mean() time.Duration
+	// String describes the distribution for logs and tables.
+	String() string
+}
+
+// Deterministic always returns the same value.
+type Deterministic struct{ D time.Duration }
+
+// Det is shorthand for a deterministic distribution.
+func Det(d time.Duration) Deterministic { return Deterministic{D: d} }
+
+// Sample implements Dist.
+func (c Deterministic) Sample(*RNG) time.Duration { return c.D }
+
+// Mean implements Dist.
+func (c Deterministic) Mean() time.Duration { return c.D }
+
+func (c Deterministic) String() string { return fmt.Sprintf("det(%v)", c.D) }
+
+// Exponential is an exponential distribution with the given mean, the
+// classic memoryless arrival/service model.
+type Exponential struct{ MeanD time.Duration }
+
+// Exp is shorthand for an exponential distribution.
+func Exp(mean time.Duration) Exponential { return Exponential{MeanD: mean} }
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *RNG) time.Duration {
+	return time.Duration(r.Exp(float64(e.MeanD)))
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() time.Duration { return e.MeanD }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(%v)", e.MeanD) }
+
+// Uniform is uniform over [Lo, Hi].
+type Uniform struct{ Lo, Hi time.Duration }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *RNG) time.Duration {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + time.Duration(r.Float64()*float64(u.Hi-u.Lo))
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() time.Duration { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%v,%v)", u.Lo, u.Hi) }
+
+// LogNormal has the given mean and standard deviation (of the resulting
+// distribution). Service times of the TrainTicket microservices are modelled
+// log-normally: strictly positive, right-skewed, narrow body — matching the
+// tight per-service execution-time clusters in Figure 3 of the paper.
+type LogNormal struct {
+	MeanD time.Duration
+	Sigma time.Duration // standard deviation of the samples
+}
+
+// LogN is shorthand for a log-normal distribution.
+func LogN(mean, stddev time.Duration) LogNormal {
+	return LogNormal{MeanD: mean, Sigma: stddev}
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(r *RNG) time.Duration {
+	return time.Duration(r.LogNormal(float64(l.MeanD), float64(l.Sigma)))
+}
+
+// Mean implements Dist.
+func (l LogNormal) Mean() time.Duration { return l.MeanD }
+
+func (l LogNormal) String() string {
+	return fmt.Sprintf("lognormal(%v,%v)", l.MeanD, l.Sigma)
+}
+
+// Empirical samples uniformly from a fixed set of observed durations —
+// used to replay profiled execution times.
+type Empirical struct{ Obs []time.Duration }
+
+// Sample implements Dist.
+func (e Empirical) Sample(r *RNG) time.Duration {
+	if len(e.Obs) == 0 {
+		return 0
+	}
+	return e.Obs[r.Intn(len(e.Obs))]
+}
+
+// Mean implements Dist.
+func (e Empirical) Mean() time.Duration {
+	if len(e.Obs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range e.Obs {
+		sum += d
+	}
+	return sum / time.Duration(len(e.Obs))
+}
+
+func (e Empirical) String() string { return fmt.Sprintf("empirical(n=%d)", len(e.Obs)) }
+
+// Scaled wraps a distribution and multiplies every sample by Factor.
+// It is how frequency-dependent slowdown is applied to a base service-time
+// distribution without re-deriving parameters.
+type Scaled struct {
+	Base   Dist
+	Factor float64
+}
+
+// Sample implements Dist.
+func (s Scaled) Sample(r *RNG) time.Duration {
+	return time.Duration(float64(s.Base.Sample(r)) * s.Factor)
+}
+
+// Mean implements Dist.
+func (s Scaled) Mean() time.Duration {
+	return time.Duration(float64(s.Base.Mean()) * s.Factor)
+}
+
+func (s Scaled) String() string {
+	return fmt.Sprintf("%.3f*%s", s.Factor, s.Base)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a sorted duration slice
+// using linear interpolation. It is the single definition of "percentile"
+// shared by every experiment so that paper comparisons are consistent.
+func Quantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// SortDurations sorts a duration slice ascending in place and returns it.
+func SortDurations(ds []time.Duration) []time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds
+}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleMean(d Dist, r *RNG, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(r))
+	}
+	return sum / float64(n)
+}
+
+func TestDeterministicDist(t *testing.T) {
+	d := Det(5 * time.Millisecond)
+	r := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if d.Sample(r) != 5*time.Millisecond {
+			t.Fatal("deterministic sample varied")
+		}
+	}
+	if d.Mean() != 5*time.Millisecond {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestExponentialMeanConverges(t *testing.T) {
+	d := Exp(10 * time.Millisecond)
+	got := sampleMean(d, NewRNG(7), 200000)
+	want := float64(10 * time.Millisecond)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("exp sample mean %.3gns, want within 2%% of %.3gns", got, want)
+	}
+}
+
+func TestUniformBoundsAndMean(t *testing.T) {
+	d := Uniform{Lo: 2 * time.Millisecond, Hi: 6 * time.Millisecond}
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		s := d.Sample(r)
+		if s < d.Lo || s > d.Hi {
+			t.Fatalf("uniform sample %v outside [%v,%v]", s, d.Lo, d.Hi)
+		}
+	}
+	if d.Mean() != 4*time.Millisecond {
+		t.Fatalf("mean = %v, want 4ms", d.Mean())
+	}
+	got := sampleMean(d, NewRNG(4), 100000)
+	if math.Abs(got-float64(4*time.Millisecond))/float64(4*time.Millisecond) > 0.02 {
+		t.Fatalf("uniform sample mean off: %v", got)
+	}
+}
+
+func TestLogNormalMeanAndSpread(t *testing.T) {
+	d := LogN(20*time.Millisecond, 4*time.Millisecond)
+	r := NewRNG(11)
+	n := 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := float64(d.Sample(r))
+		if v < 0 {
+			t.Fatal("negative lognormal sample")
+		}
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumsq/float64(n) - mean*mean)
+	if math.Abs(mean-float64(20*time.Millisecond))/float64(20*time.Millisecond) > 0.02 {
+		t.Fatalf("lognormal mean %.4g, want ~20ms", mean)
+	}
+	if math.Abs(std-float64(4*time.Millisecond))/float64(4*time.Millisecond) > 0.05 {
+		t.Fatalf("lognormal stddev %.4g, want ~4ms", std)
+	}
+}
+
+func TestEmpiricalSamplesFromObservations(t *testing.T) {
+	obs := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	d := Empirical{Obs: obs}
+	r := NewRNG(5)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 1000; i++ {
+		s := d.Sample(r)
+		seen[s] = true
+		found := false
+		for _, o := range obs {
+			if s == o {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("sample %v not among observations", s)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("saw %d distinct values, want 3", len(seen))
+	}
+	if d.Mean() != 2*time.Millisecond {
+		t.Fatalf("mean = %v, want 2ms", d.Mean())
+	}
+}
+
+func TestEmpiricalEmpty(t *testing.T) {
+	d := Empirical{}
+	if d.Sample(NewRNG(1)) != 0 || d.Mean() != 0 {
+		t.Fatal("empty empirical should sample 0")
+	}
+}
+
+func TestScaledMultipliesSamples(t *testing.T) {
+	base := Det(10 * time.Millisecond)
+	d := Scaled{Base: base, Factor: 1.5}
+	if d.Sample(NewRNG(1)) != 15*time.Millisecond {
+		t.Fatal("scaled sample wrong")
+	}
+	if d.Mean() != 15*time.Millisecond {
+		t.Fatal("scaled mean wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	ds := []time.Duration{10, 20, 30, 40, 50}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.75, 40}, {0.9, 46},
+	}
+	for _, c := range cases {
+		if got := Quantile(ds, c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	// Property: for any sample set, quantiles are monotone in q and bounded
+	// by min/max.
+	f := func(raw []int16, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ds := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			d := time.Duration(v)
+			if d < 0 {
+				d = -d
+			}
+			ds[i] = d
+		}
+		SortDurations(ds)
+		lo := float64(qa%101) / 100
+		hi := float64(qb%101) / 100
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a, b := Quantile(ds, lo), Quantile(ds, hi)
+		return a <= b && a >= ds[0] && b <= ds[len(ds)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGStreamsAreIndependent(t *testing.T) {
+	root := NewRNG(99)
+	a := root.Stream("a")
+	b := root.Stream("b")
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			equal++
+		}
+	}
+	if equal > 1 {
+		t.Fatalf("streams overlap: %d equal draws of 64", equal)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(123)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(77)
+	n := 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(5, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumsq/float64(n) - mean*mean)
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("norm mean %v, want ~5", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Fatalf("norm std %v, want ~2", std)
+	}
+}
+
+func TestRNGShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(8)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, 10)
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatal("duplicate after shuffle")
+		}
+		seen[v] = true
+	}
+}

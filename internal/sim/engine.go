@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point on the simulation's logical clock, measured as nanoseconds
+// since the start of the run. It is deliberately distinct from time.Time:
+// nothing in the simulator touches the wall clock.
+type Time int64
+
+// Add offsets a simulation time by a duration.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds reports t as floating-point seconds, for tables and plots.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Handler is a scheduled callback. It runs at its scheduled time with the
+// engine clock already advanced.
+type Handler func()
+
+// event is one calendar entry. seq breaks ties so that events scheduled
+// earlier at the same timestamp run first (deterministic FIFO ordering).
+type event struct {
+	at      Time
+	seq     uint64
+	fn      Handler
+	stopped *bool // non-nil when the event is cancellable
+	index   int
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. Events execute in
+// strict (time, schedule-order) sequence. An Engine is not safe for
+// concurrent use; the concurrency being modelled is logical, not Go-level —
+// that keeps runs deterministic, which the experiment harness depends on.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *RNG
+	// processed counts executed events, exposed for tests and for guarding
+	// against runaway feedback loops in controllers.
+	processed uint64
+}
+
+// NewEngine returns an engine whose clock starts at 0 and whose root RNG is
+// seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's root random stream. Components should derive
+// their own sub-streams via RNG().Stream(name) at construction time.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Processed reports how many events have executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule runs fn after delay. A negative delay is an error in the caller;
+// it panics to surface the bug immediately rather than corrupting causality.
+func (e *Engine) Schedule(delay time.Duration, fn Handler) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %v at t=%v", delay, e.now))
+	}
+	e.push(&event{at: e.now.Add(delay), fn: fn})
+}
+
+// ScheduleAt runs fn at absolute simulation time at, which must not be in
+// the past.
+func (e *Engine) ScheduleAt(at Time, fn Handler) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt %v is before now %v", at, e.now))
+	}
+	e.push(&event{at: at, fn: fn})
+}
+
+// Timer is a handle to a cancellable scheduled event.
+type Timer struct{ stopped *bool }
+
+// Stop cancels the timer. It is a no-op if the event already ran.
+func (t Timer) Stop() { *t.stopped = true }
+
+// After schedules fn like Schedule but returns a cancellable handle.
+func (e *Engine) After(delay time.Duration, fn Handler) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: After with negative delay %v at t=%v", delay, e.now))
+	}
+	stopped := new(bool)
+	e.push(&event{at: e.now.Add(delay), fn: fn, stopped: stopped})
+	return Timer{stopped: stopped}
+}
+
+// Every schedules fn to run now+period, then every period thereafter, until
+// the returned Timer is stopped or the run ends.
+func (e *Engine) Every(period time.Duration, fn Handler) Timer {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive period %v", period))
+	}
+	stopped := new(bool)
+	var tick Handler
+	tick = func() {
+		if *stopped {
+			return
+		}
+		fn()
+		if *stopped {
+			return
+		}
+		e.push(&event{at: e.now.Add(period), fn: tick, stopped: stopped})
+	}
+	e.push(&event{at: e.now.Add(period), fn: tick, stopped: stopped})
+	return Timer{stopped: stopped}
+}
+
+func (e *Engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// Step executes the single next event. It returns false when the calendar
+// is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.stopped != nil && *ev.stopped {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the calendar is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock exactly to deadline. Events scheduled beyond the deadline remain
+// queued, so a run can be resumed.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Pending reports how many events (including cancelled placeholders) remain
+// in the calendar.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: events always execute in non-decreasing time order and equal
+// timestamps run in scheduling order, under arbitrary random scheduling
+// including nested schedules and cancellations.
+func TestCalendarOrderingProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		eng := NewEngine(seed)
+		r := eng.RNG().Stream("sched")
+		count := int(n%100) + 1
+		var lastAt Time = -1
+		lastSeq := uint64(0)
+		violated := false
+		seq := uint64(0)
+		record := func(mySeq uint64) {
+			now := eng.Now()
+			if now < lastAt {
+				violated = true
+			}
+			if now == lastAt && mySeq < lastSeq {
+				violated = true
+			}
+			lastAt = now
+			lastSeq = mySeq
+		}
+		var timers []Timer
+		for i := 0; i < count; i++ {
+			d := time.Duration(r.Intn(100)) * time.Millisecond
+			seq++
+			mySeq := seq
+			switch r.Intn(3) {
+			case 0:
+				eng.Schedule(d, func() { record(mySeq) })
+			case 1:
+				timers = append(timers, eng.After(d, func() { record(mySeq) }))
+			default:
+				eng.Schedule(d, func() {
+					record(mySeq)
+					// Nested schedule at the same instant runs later.
+					eng.Schedule(0, func() {})
+				})
+			}
+		}
+		// Cancel a third of the cancellable timers.
+		for i, tm := range timers {
+			if i%3 == 0 {
+				tm.Stop()
+			}
+		}
+		eng.Run()
+		return !violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil never executes an event past the deadline, and
+// resuming executes the rest exactly once.
+func TestRunUntilBoundaryProperty(t *testing.T) {
+	f := func(seed uint64, cut uint8) bool {
+		eng := NewEngine(seed)
+		r := eng.RNG().Stream("s")
+		total := 50
+		fired := map[int]int{}
+		for i := 0; i < total; i++ {
+			i := i
+			d := time.Duration(r.Intn(100)) * time.Millisecond
+			eng.Schedule(d, func() { fired[i]++ })
+		}
+		deadline := Time(time.Duration(cut%100) * time.Millisecond)
+		eng.RunUntil(deadline)
+		for range fired {
+			if eng.Now() > deadline {
+				return false
+			}
+		}
+		eng.Run()
+		if len(fired) != total {
+			return false
+		}
+		for _, c := range fired {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineManyEventsStress(t *testing.T) {
+	eng := NewEngine(3)
+	r := eng.RNG().Stream("s")
+	const n = 100000
+	ran := 0
+	for i := 0; i < n; i++ {
+		eng.Schedule(time.Duration(r.Intn(1000000))*time.Microsecond, func() { ran++ })
+	}
+	eng.Run()
+	if ran != n {
+		t.Fatalf("ran %d of %d", ran, n)
+	}
+	if eng.Processed() < n {
+		t.Fatalf("processed %d", eng.Processed())
+	}
+}

@@ -1,0 +1,222 @@
+// Package trace is the request-tracing substrate standing in for Zipkin in
+// the paper's methodology (§3.1): every request produces a trace of spans,
+// one per microservice invocation, from which response times, per-service
+// execution times and call counts are extracted — exactly the inputs the
+// paper feeds its offline analysis and MCF calculator.
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"servicefridge/internal/sim"
+)
+
+// Span records one microservice invocation within a request.
+type Span struct {
+	// Service is the invoked microservice.
+	Service string
+	// Host is the server the invocation ran on.
+	Host string
+	// Submit is when the call was dispatched (enters the host queue).
+	Submit sim.Time
+	// Start is when it began executing on a core.
+	Start sim.Time
+	// End is when it completed.
+	End sim.Time
+}
+
+// Exec returns the span's pure execution time (core occupancy).
+func (s Span) Exec() time.Duration { return s.End.Sub(s.Start) }
+
+// Latency returns queueing plus execution time.
+func (s Span) Latency() time.Duration { return s.End.Sub(s.Submit) }
+
+// Queued returns the time spent waiting for a core.
+func (s Span) Queued() time.Duration { return s.Start.Sub(s.Submit) }
+
+// Trace is the full record of one request.
+type Trace struct {
+	// ID is a collector-unique request identifier.
+	ID uint64
+	// Region is the microservice region (API) the request targeted.
+	Region string
+	// Begin and Finish bracket the request end to end.
+	Begin, Finish sim.Time
+	// Spans lists every invocation, in dispatch order.
+	Spans []Span
+	done  bool
+}
+
+// Response returns the request's end-to-end response time.
+func (t *Trace) Response() time.Duration { return t.Finish.Sub(t.Begin) }
+
+// Done reports whether the trace has been completed.
+func (t *Trace) Done() bool { return t.done }
+
+// CallCount returns how many times service was invoked in this request.
+func (t *Trace) CallCount(service string) int {
+	n := 0
+	for _, s := range t.Spans {
+		if s.Service == service {
+			n++
+		}
+	}
+	return n
+}
+
+// ServiceExec returns the total execution time spent in service.
+func (t *Trace) ServiceExec(service string) time.Duration {
+	var sum time.Duration
+	for _, s := range t.Spans {
+		if s.Service == service {
+			sum += s.Exec()
+		}
+	}
+	return sum
+}
+
+// Collector gathers completed traces, like the Zipkin UI on the manager
+// node. It also maintains running per-service tallies so that analyses do
+// not have to re-walk every span list.
+type Collector struct {
+	nextID uint64
+	open   int
+	traces []*Trace
+	// KeepSpans controls whether span lists are retained on completed
+	// traces. Long experiments that only need response times can disable
+	// it to bound memory.
+	KeepSpans bool
+
+	execByService map[string][]time.Duration
+}
+
+// NewCollector returns an empty collector that retains spans.
+func NewCollector() *Collector {
+	return &Collector{KeepSpans: true, execByService: make(map[string][]time.Duration)}
+}
+
+// StartTrace opens a trace for a request entering region at time at.
+func (c *Collector) StartTrace(region string, at sim.Time) *Trace {
+	c.nextID++
+	c.open++
+	return &Trace{ID: c.nextID, Region: region, Begin: at}
+}
+
+// AddSpan appends a completed span to an open trace and feeds the
+// per-service tallies.
+func (c *Collector) AddSpan(t *Trace, s Span) {
+	if t.done {
+		panic("trace: AddSpan on a finished trace")
+	}
+	t.Spans = append(t.Spans, s)
+	c.execByService[s.Service] = append(c.execByService[s.Service], s.Exec())
+}
+
+// FinishTrace closes the trace at time at and records it.
+func (c *Collector) FinishTrace(t *Trace, at sim.Time) {
+	if t.done {
+		panic("trace: FinishTrace called twice")
+	}
+	t.Finish = at
+	t.done = true
+	c.open--
+	if !c.KeepSpans {
+		t.Spans = nil
+	}
+	c.traces = append(c.traces, t)
+}
+
+// Traces returns all completed traces in completion order.
+func (c *Collector) Traces() []*Trace { return c.traces }
+
+// Open returns the number of traces started but not finished.
+func (c *Collector) Open() int { return c.open }
+
+// Count returns the number of completed traces, optionally filtered by
+// region ("" matches all).
+func (c *Collector) Count(region string) int {
+	if region == "" {
+		return len(c.traces)
+	}
+	n := 0
+	for _, t := range c.traces {
+		if t.Region == region {
+			n++
+		}
+	}
+	return n
+}
+
+// ResponseTimes returns the response times of completed traces for region
+// ("" matches all), in completion order.
+func (c *Collector) ResponseTimes(region string) []time.Duration {
+	var out []time.Duration
+	for _, t := range c.traces {
+		if region == "" || t.Region == region {
+			out = append(out, t.Response())
+		}
+	}
+	return out
+}
+
+// ResponseAfter returns response times of traces that finished at or after
+// cut, for region ("" matches all) — used to discard warm-up.
+func (c *Collector) ResponseAfter(region string, cut sim.Time) []time.Duration {
+	var out []time.Duration
+	for _, t := range c.traces {
+		if t.Finish < cut {
+			continue
+		}
+		if region == "" || t.Region == region {
+			out = append(out, t.Response())
+		}
+	}
+	return out
+}
+
+// ServiceExecTimes returns every recorded execution time for service,
+// across all traces, in recording order.
+func (c *Collector) ServiceExecTimes(service string) []time.Duration {
+	return c.execByService[service]
+}
+
+// Services returns the names of all services with recorded spans, sorted.
+func (c *Collector) Services() []string {
+	out := make([]string, 0, len(c.execByService))
+	for s := range c.execByService {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MeanExec returns the mean execution time recorded for service, or 0.
+func (c *Collector) MeanExec(service string) time.Duration {
+	xs := c.execByService[service]
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / time.Duration(len(xs))
+}
+
+// MeanCallTimes returns the average number of invocations of service per
+// completed request in region. Requires KeepSpans.
+func (c *Collector) MeanCallTimes(service, region string) float64 {
+	n, reqs := 0, 0
+	for _, t := range c.traces {
+		if region != "" && t.Region != region {
+			continue
+		}
+		reqs++
+		n += t.CallCount(service)
+	}
+	if reqs == 0 {
+		return 0
+	}
+	return float64(n) / float64(reqs)
+}

@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"servicefridge/internal/sim"
+	"servicefridge/internal/trace"
+)
+
+// fakeLauncher completes every request after a fixed service time.
+type fakeLauncher struct {
+	eng     *sim.Engine
+	service time.Duration
+	byReg   map[string]int
+	active  int
+	maxAct  int
+}
+
+func newFakeLauncher(eng *sim.Engine, service time.Duration) *fakeLauncher {
+	return &fakeLauncher{eng: eng, service: service, byReg: map[string]int{}}
+}
+
+func (f *fakeLauncher) Launch(region string, onDone func(*trace.Trace)) {
+	f.byReg[region]++
+	f.active++
+	if f.active > f.maxAct {
+		f.maxAct = f.active
+	}
+	f.eng.Schedule(f.service, func() {
+		f.active--
+		if onDone != nil {
+			onDone(&trace.Trace{Region: region})
+		}
+	})
+}
+
+func TestMixSharesAndPick(t *testing.T) {
+	m := Ratio(30, 20)
+	if math.Abs(m.Share("A")-0.6) > 1e-9 || math.Abs(m.Share("B")-0.4) > 1e-9 {
+		t.Fatalf("shares wrong: %v %v", m.Share("A"), m.Share("B"))
+	}
+	if m.Share("C") != 0 {
+		t.Fatal("unknown region share should be 0")
+	}
+	r := sim.NewRNG(5)
+	counts := map[string]int{}
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[m.Pick(r)]++
+	}
+	if math.Abs(float64(counts["A"])/float64(n)-0.6) > 0.01 {
+		t.Fatalf("empirical A share %v, want ~0.6", float64(counts["A"])/float64(n))
+	}
+}
+
+func TestMixDropsZeroWeights(t *testing.T) {
+	m := Ratio(30, 0)
+	if got := m.Regions(); len(got) != 1 || got[0] != "A" {
+		t.Fatalf("regions = %v, want [A]", got)
+	}
+	r := sim.NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if m.Pick(r) != "A" {
+			t.Fatal("zero-weight region picked")
+		}
+	}
+}
+
+func TestMixAllZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Ratio(0, 0)
+}
+
+func TestClosedLoopMaintainsConcurrency(t *testing.T) {
+	eng := sim.NewEngine(3)
+	fl := newFakeLauncher(eng, 10*time.Millisecond)
+	cl := NewClosedLoop(eng, fl, eng.RNG().Stream("w"), Ratio(1, 0), nil)
+	cl.SetWorkers(5)
+	eng.RunUntil(sim.Time(time.Second))
+	// 5 workers, 10ms service, no think: 100 req/s/worker => ~500 total.
+	if fl.maxAct > 5 {
+		t.Fatalf("max concurrent = %d, want <= 5", fl.maxAct)
+	}
+	got := cl.Launched()
+	if got < 480 || got > 520 {
+		t.Fatalf("launched %d, want ~500", got)
+	}
+}
+
+func TestClosedLoopThinkTimeReducesThroughput(t *testing.T) {
+	eng := sim.NewEngine(3)
+	fl := newFakeLauncher(eng, 10*time.Millisecond)
+	cl := NewClosedLoop(eng, fl, eng.RNG().Stream("w"), Ratio(1, 0), sim.Det(10*time.Millisecond))
+	cl.SetWorkers(5)
+	eng.RunUntil(sim.Time(time.Second))
+	got := cl.Launched()
+	// 20ms cycle per worker => ~250.
+	if got < 240 || got > 260 {
+		t.Fatalf("launched %d, want ~250", got)
+	}
+}
+
+func TestClosedLoopShrinkAndGrow(t *testing.T) {
+	eng := sim.NewEngine(3)
+	fl := newFakeLauncher(eng, 10*time.Millisecond)
+	cl := NewClosedLoop(eng, fl, eng.RNG().Stream("w"), Ratio(1, 0), nil)
+	cl.SetWorkers(10)
+	eng.RunUntil(sim.Time(500 * time.Millisecond))
+	cl.SetWorkers(2)
+	eng.RunUntil(sim.Time(600 * time.Millisecond))
+	fl.maxAct = 0 // reset; observe steady state after shrink
+	eng.RunUntil(sim.Time(time.Second))
+	if fl.maxAct > 2 {
+		t.Fatalf("after shrink max concurrent = %d, want <= 2", fl.maxAct)
+	}
+	cl.SetWorkers(8)
+	fl.maxAct = 0
+	eng.RunUntil(sim.Time(1500 * time.Millisecond))
+	if fl.maxAct != 8 {
+		t.Fatalf("after grow max concurrent = %d, want 8", fl.maxAct)
+	}
+}
+
+func TestClosedLoopStop(t *testing.T) {
+	eng := sim.NewEngine(3)
+	fl := newFakeLauncher(eng, 10*time.Millisecond)
+	cl := NewClosedLoop(eng, fl, eng.RNG().Stream("w"), Ratio(1, 0), nil)
+	cl.SetWorkers(3)
+	eng.RunUntil(sim.Time(100 * time.Millisecond))
+	cl.Stop()
+	eng.RunUntil(sim.Time(200 * time.Millisecond))
+	after := cl.Launched()
+	eng.RunUntil(sim.Time(time.Second))
+	if cl.Launched() != after {
+		t.Fatal("workers kept launching after Stop")
+	}
+}
+
+func TestClosedLoopOnLaunchObserver(t *testing.T) {
+	eng := sim.NewEngine(3)
+	fl := newFakeLauncher(eng, 10*time.Millisecond)
+	cl := NewClosedLoop(eng, fl, eng.RNG().Stream("w"), Ratio(30, 20), nil)
+	var observed int
+	cl.OnLaunch = func(region string) {
+		if region != "A" && region != "B" {
+			t.Fatalf("unexpected region %s", region)
+		}
+		observed++
+	}
+	cl.SetWorkers(4)
+	eng.RunUntil(sim.Time(time.Second))
+	if uint64(observed) != cl.Launched() {
+		t.Fatalf("observed %d launches, launcher counted %d", observed, cl.Launched())
+	}
+}
+
+func TestClosedLoopMixSplit(t *testing.T) {
+	eng := sim.NewEngine(3)
+	fl := newFakeLauncher(eng, time.Millisecond)
+	cl := NewClosedLoop(eng, fl, eng.RNG().Stream("w"), Ratio(30, 20), nil)
+	cl.SetWorkers(10)
+	eng.RunUntil(sim.Time(time.Second))
+	frac := float64(fl.byReg["A"]) / float64(fl.byReg["A"]+fl.byReg["B"])
+	if math.Abs(frac-0.6) > 0.03 {
+		t.Fatalf("A fraction %v, want ~0.6", frac)
+	}
+}
+
+func TestOpenLoopRate(t *testing.T) {
+	eng := sim.NewEngine(9)
+	fl := newFakeLauncher(eng, time.Millisecond)
+	ol := NewOpenLoop(eng, fl, eng.RNG().Stream("w"), Ratio(1, 0))
+	ol.SetRate(200)
+	eng.RunUntil(sim.Time(10 * time.Second))
+	got := float64(ol.Launched()) / 10
+	if math.Abs(got-200) > 15 {
+		t.Fatalf("rate %v req/s, want ~200", got)
+	}
+}
+
+func TestOpenLoopPauseAndRateChange(t *testing.T) {
+	eng := sim.NewEngine(9)
+	fl := newFakeLauncher(eng, time.Millisecond)
+	ol := NewOpenLoop(eng, fl, eng.RNG().Stream("w"), Ratio(1, 0))
+	ol.SetRate(100)
+	eng.RunUntil(sim.Time(time.Second))
+	ol.SetRate(0)
+	atPause := ol.Launched()
+	eng.RunUntil(sim.Time(2 * time.Second))
+	if ol.Launched() != atPause {
+		t.Fatal("generator kept launching while paused")
+	}
+	ol.SetRate(400)
+	eng.RunUntil(sim.Time(3 * time.Second))
+	delta := ol.Launched() - atPause
+	if delta < 350 || delta > 450 {
+		t.Fatalf("after resume launched %d in 1s, want ~400", delta)
+	}
+}
+
+func TestScheduleAppliesPhases(t *testing.T) {
+	eng := sim.NewEngine(3)
+	fl := newFakeLauncher(eng, time.Millisecond)
+	cl := NewClosedLoop(eng, fl, eng.RNG().Stream("w"), Ratio(1, 0), nil)
+	// The paper's Figure 13 pattern: low(5) / medium(15) / high(25).
+	total := cl.Schedule([]Phase{
+		{Duration: 60 * time.Second, Workers: 5},
+		{Duration: 60 * time.Second, Workers: 15},
+		{Duration: 60 * time.Second, Workers: 25},
+	})
+	if total != 180*time.Second {
+		t.Fatalf("schedule length %v, want 180s", total)
+	}
+	eng.RunUntil(sim.Time(30 * time.Second))
+	if cl.Workers() != 5 {
+		t.Fatalf("phase 1 workers = %d, want 5", cl.Workers())
+	}
+	eng.RunUntil(sim.Time(90 * time.Second))
+	if cl.Workers() != 15 {
+		t.Fatalf("phase 2 workers = %d, want 15", cl.Workers())
+	}
+	eng.RunUntil(sim.Time(170 * time.Second))
+	if cl.Workers() != 25 {
+		t.Fatalf("phase 3 workers = %d, want 25", cl.Workers())
+	}
+}
+
+func TestScheduleMixSwitch(t *testing.T) {
+	eng := sim.NewEngine(3)
+	fl := newFakeLauncher(eng, time.Millisecond)
+	cl := NewClosedLoop(eng, fl, eng.RNG().Stream("w"), Ratio(1, 0), nil)
+	cl.Schedule([]Phase{
+		{Duration: time.Second, Workers: 5},
+		{Duration: time.Second, Workers: 5, Mix: Ratio(0, 1)},
+	})
+	eng.RunUntil(sim.Time(time.Second))
+	fl.byReg = map[string]int{}
+	eng.RunUntil(sim.Time(2 * time.Second))
+	if fl.byReg["A"] != 0 {
+		t.Fatalf("phase 2 still launched %d A requests", fl.byReg["A"])
+	}
+	if fl.byReg["B"] == 0 {
+		t.Fatal("phase 2 launched no B requests")
+	}
+}
