@@ -10,6 +10,9 @@
 package servicefridge_test
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -61,6 +64,97 @@ func BenchmarkHeadline(b *testing.B) { benchExperiment(b, "headline") }
 // Extension studies (EXPERIMENTS.md "Extensions" section).
 func BenchmarkExtScaleOut(b *testing.B) { benchExperiment(b, "ext-scale") }
 func BenchmarkExtOpenLoop(b *testing.B) { benchExperiment(b, "ext-openloop") }
+
+// ---------------------------------------------------------------------
+// Parallel experiment executor: sequential vs parallel regeneration of
+// the full paper registry (EXPERIMENTS.md "Runtime & parallelism").
+
+func benchRegistry(b *testing.B, workers int) {
+	b.Helper()
+	prev := experiments.Parallelism()
+	experiments.SetParallelism(workers)
+	defer experiments.SetParallelism(prev)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.RunAll(experiments.All(), 1, func(r experiments.RunResult) {
+			sinkTables = r.Tables
+		})
+	}
+	if len(sinkTables) == 0 {
+		b.Fatal("registry produced no data")
+	}
+}
+
+// BenchmarkRegistrySequential regenerates every paper artifact one run at
+// a time — the pre-parallelism executor path.
+func BenchmarkRegistrySequential(b *testing.B) { benchRegistry(b, 1) }
+
+// BenchmarkRegistryParallel fans the same registry across GOMAXPROCS
+// workers; output tables are byte-identical to the sequential pass.
+func BenchmarkRegistryParallel(b *testing.B) { benchRegistry(b, runtime.GOMAXPROCS(0)) }
+
+// registryTiming measures one full-registry regeneration at the given
+// worker-pool width, returning total wall-clock and per-experiment times.
+func registryTiming(workers int) (time.Duration, map[string]float64) {
+	prev := experiments.Parallelism()
+	experiments.SetParallelism(workers)
+	defer experiments.SetParallelism(prev)
+	per := map[string]float64{}
+	start := time.Now()
+	experiments.RunAll(experiments.All(), 1, func(r experiments.RunResult) {
+		per[r.Experiment.ID] = r.Elapsed.Seconds()
+	})
+	return time.Since(start), per
+}
+
+// TestEmitBenchTrajectory measures sequential vs parallel regeneration of
+// the full registry and appends the measurement to BENCH_experiments.json
+// (the bench trajectory consumed across PRs). The two regenerations take
+// about a minute, so the measurement only runs when BENCH_TRAJECTORY=1;
+// plain `go test ./...` skips it.
+func TestEmitBenchTrajectory(t *testing.T) {
+	if os.Getenv("BENCH_TRAJECTORY") == "" {
+		t.Skip("set BENCH_TRAJECTORY=1 to measure and append to BENCH_experiments.json")
+	}
+	// Warm the per-seed calibration cache so neither mode pays for it.
+	seqTotal, perExp := registryTiming(1)
+	parTotal, _ := registryTiming(runtime.GOMAXPROCS(0))
+
+	type entry struct {
+		Benchmark         string             `json:"benchmark"`
+		GoMaxProcs        int                `json:"gomaxprocs"`
+		ParallelWorkers   int                `json:"parallel_workers"`
+		Experiments       int                `json:"experiments"`
+		SequentialSeconds float64            `json:"sequential_seconds"`
+		ParallelSeconds   float64            `json:"parallel_seconds"`
+		Speedup           float64            `json:"speedup"`
+		PerExperimentSeq  map[string]float64 `json:"per_experiment_sequential_seconds"`
+	}
+	var trajectory []entry
+	if raw, err := os.ReadFile("BENCH_experiments.json"); err == nil {
+		_ = json.Unmarshal(raw, &trajectory)
+	}
+	trajectory = append(trajectory, entry{
+		Benchmark:         "experiments-registry",
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		ParallelWorkers:   runtime.GOMAXPROCS(0),
+		Experiments:       len(experiments.All()),
+		SequentialSeconds: seqTotal.Seconds(),
+		ParallelSeconds:   parTotal.Seconds(),
+		Speedup:           seqTotal.Seconds() / parTotal.Seconds(),
+		PerExperimentSeq:  perExp,
+	})
+	raw, err := json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_experiments.json", append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sequential %v, parallel %v (%d workers): speedup %.2fx",
+		seqTotal.Round(time.Millisecond), parTotal.Round(time.Millisecond),
+		runtime.GOMAXPROCS(0), seqTotal.Seconds()/parTotal.Seconds())
+}
 
 // ---------------------------------------------------------------------
 // Ablation benchmarks: each reports the region-A mean response time (ms)

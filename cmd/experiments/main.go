@@ -6,12 +6,20 @@
 //	experiments -run fig15       # regenerate one artifact
 //	experiments -run all         # regenerate everything (paper order)
 //	experiments -seed 7 -run fig6
+//	experiments -run all -parallel 8
+//
+// Independent simulation runs fan out across -parallel workers, both
+// across experiments and across within-figure cells; tables print in
+// paper order and are byte-identical to a sequential (-parallel 1) run
+// for the same seed. Timing lines go to stderr so stdout stays
+// deterministic.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -20,10 +28,12 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "experiment ID to regenerate (or \"all\")")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		format = flag.String("format", "table", "output format: table or csv")
+		run      = flag.String("run", "all", "experiment ID to regenerate (or \"all\")")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		format   = flag.String("format", "table", "output format: table or csv")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"max concurrent simulation runs (1 = sequential)")
 	)
 	flag.Parse()
 
@@ -51,18 +61,21 @@ func main() {
 			todo = append(todo, e)
 		}
 	}
-	_ = todo
 
-	for _, e := range todo {
-		start := time.Now()
-		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
-		for _, tb := range e.Run(*seed) {
+	experiments.SetParallelism(*parallel)
+	start := time.Now()
+	experiments.RunAll(todo, *seed, func(r experiments.RunResult) {
+		fmt.Printf("### %s — %s\n\n", r.Experiment.ID, r.Experiment.Title)
+		for _, tb := range r.Tables {
 			if *format == "csv" {
 				fmt.Printf("# %s\n%s\n", tb.Title, tb.CSV())
 			} else {
 				fmt.Println(tb)
 			}
 		}
-		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-	}
+		fmt.Fprintf(os.Stderr, "(%s regenerated in %v)\n",
+			r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
+	})
+	fmt.Fprintf(os.Stderr, "(total: %d experiments in %v, parallel=%d)\n",
+		len(todo), time.Since(start).Round(time.Millisecond), experiments.Parallelism())
 }

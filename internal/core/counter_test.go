@@ -133,6 +133,73 @@ func TestRegionLoadPureB(t *testing.T) {
 	}
 }
 
+// TestCounterSlotConservation pins the Figure 10 slot identity under
+// matched traffic (every Complete follows an earlier Observe): for every
+// closed slot and every service,
+//
+//	Pending(close) = Pending(open) + Arrivals − Completions.
+func TestCounterSlotConservation(t *testing.T) {
+	c := NewCounter(studyGraph())
+	r := sim.NewRNG(7)
+	open := map[string]int{"A": 0, "B": 0}
+	prev := map[string]float64{}
+	for slot := 0; slot < 25; slot++ {
+		for op := 0; op < 40; op++ {
+			region := "A"
+			if r.Intn(2) == 0 {
+				region = "B"
+			}
+			if open[region] == 0 || r.Intn(3) > 0 {
+				c.Observe(region)
+				open[region]++
+			} else {
+				c.Complete(region)
+				open[region]--
+			}
+		}
+		s := c.Advance()
+		seen := map[string]bool{}
+		for _, m := range []map[string]float64{s.Arrivals, s.Completions, s.Pending, prev} {
+			for svc := range m {
+				seen[svc] = true
+			}
+		}
+		for svc := range seen {
+			want := prev[svc] + s.Arrivals[svc] - s.Completions[svc]
+			if s.Pending[svc] != want {
+				t.Fatalf("slot %d, %s: pending(close) = %v, want pending(open) %v + arrivals %v - completions %v = %v",
+					slot, svc, s.Pending[svc], prev[svc], s.Arrivals[svc], s.Completions[svc], want)
+			}
+		}
+		prev = s.Pending
+	}
+}
+
+// TestCounterUnmatchedCompleteAsymmetry pins the documented asymmetry in
+// Complete: pending clamps at zero on an unmatched completion, but the
+// slot history still records it — so the slot identity deliberately
+// over-counts completions in that (erroneous) case, rather than letting a
+// stray Complete corrupt the live shares.
+func TestCounterUnmatchedCompleteAsymmetry(t *testing.T) {
+	c := NewCounter(studyGraph())
+	c.Complete("A") // unmatched: nothing was observed
+	s := c.Advance()
+	if c.Pending("ticketinfo") != 0 {
+		t.Fatalf("pending[ticketinfo] = %v, must clamp at zero", c.Pending("ticketinfo"))
+	}
+	if s.Pending["ticketinfo"] != 0 {
+		t.Fatalf("slot pending[ticketinfo] = %v, must clamp at zero", s.Pending["ticketinfo"])
+	}
+	if s.Completions["ticketinfo"] != 1 {
+		t.Fatalf("slot completions[ticketinfo] = %v, want 1 (unmatched completes still counted)",
+			s.Completions["ticketinfo"])
+	}
+	// The identity is violated by exactly the clamped amount: 0 != 0 - 1.
+	if got, naive := s.Pending["ticketinfo"], -s.Completions["ticketinfo"]; got == naive {
+		t.Fatalf("clamp should break the naive identity, got %v == %v", got, naive)
+	}
+}
+
 // Property: for any interleaving of observes and completes, pending counts
 // never go negative and shares stay normalized.
 func TestCounterInvariantProperty(t *testing.T) {

@@ -25,22 +25,32 @@ func compareRun(seed uint64, scheme engine.SchemeName, budget float64, keepSpans
 	})
 }
 
-// baselineSummaries returns the un-throttled reference (Baseline at 100%)
-// that Figure 15 normalizes to.
-func baselineSummaries(seed uint64) map[string]metrics.Summary {
-	res := compareRun(seed, engine.Baseline, 1.0, false)
-	return map[string]metrics.Summary{
-		"A": res.Summary("A"),
-		"B": res.Summary("B"),
-	}
-}
-
 // Figure15 reproduces the headline comparison: mean and tail response
 // times, normalized to the unthrottled execution time, for P-first,
 // T-first, ServiceFridge and Capping as the power budget falls from 100%
-// to 75% of the maximum required power.
+// to 75% of the maximum required power. The unthrottled baseline and all
+// scheme×budget cells are independent runs and execute on the worker
+// pool; the tables are assembled in paper order afterwards.
 func Figure15(seed uint64) []*metrics.Table {
-	base := baselineSummaries(seed)
+	type cell struct {
+		scheme engine.SchemeName
+		budget float64
+	}
+	cells := []cell{{engine.Baseline, 1.0}}
+	for _, scheme := range engine.AllSchemes() {
+		for _, b := range fig15Budgets {
+			cells = append(cells, cell{scheme, b})
+		}
+	}
+	summaries := parMap(cells, func(c cell) map[string]metrics.Summary {
+		res := compareRun(seed, c.scheme, c.budget, false)
+		return map[string]metrics.Summary{
+			"A": res.Summary("A"),
+			"B": res.Summary("B"),
+		}
+	})
+	base := summaries[0]
+
 	var tables []*metrics.Table
 	for _, region := range []string{"A", "B"} {
 		header := []string{"scheme", "metric"}
@@ -50,11 +60,11 @@ func Figure15(seed uint64) []*metrics.Table {
 		tb := metrics.NewTable(
 			fmt.Sprintf("Figure 15: normalized service time, region %s (vs unthrottled)", region),
 			header...)
-		for _, scheme := range engine.AllSchemes() {
+		for si := range engine.AllSchemes() {
 			rows := map[string][]string{"mean": nil, "p90": nil, "p95": nil, "p99": nil}
-			for _, b := range fig15Budgets {
-				res := compareRun(seed, scheme, b, false)
-				n := res.Summary(region).NormalizeTo(base[region].Mean)
+			for bi := range fig15Budgets {
+				sum := summaries[1+si*len(fig15Budgets)+bi]
+				n := sum[region].NormalizeTo(base[region].Mean)
 				bn := base[region].NormalizeTo(base[region].Mean)
 				rows["mean"] = append(rows["mean"], fmt.Sprintf("%.2f", n.Mean/orOne(bn.Mean)))
 				rows["p90"] = append(rows["p90"], fmt.Sprintf("%.2f", n.P90/orOne(bn.P90)))
@@ -62,7 +72,7 @@ func Figure15(seed uint64) []*metrics.Table {
 				rows["p99"] = append(rows["p99"], fmt.Sprintf("%.2f", n.P99/orOne(bn.P99)))
 			}
 			for _, metric := range []string{"mean", "p90", "p95", "p99"} {
-				cells := append([]string{string(scheme), metric}, rows[metric]...)
+				cells := append([]string{string(engine.AllSchemes()[si]), metric}, rows[metric]...)
 				tb.Row(cells...)
 			}
 		}
@@ -88,9 +98,11 @@ func Figure16(seed uint64) []*metrics.Table {
 		scheme string
 		stats  *metrics.LatencyStats
 	}
-	byService := map[string][]dist{}
-	for _, scheme := range engine.AllSchemes() {
+	// One run per scheme, fanned out; span extraction stays inside the
+	// worker since it only touches that run's collector.
+	perScheme := parMap(engine.AllSchemes(), func(scheme engine.SchemeName) map[string]dist {
 		res := compareRun(seed, scheme, 0.8, true)
+		out := make(map[string]dist, len(services))
 		for _, svc := range services {
 			var lat []time.Duration
 			for _, tr := range res.Collector.Traces() {
@@ -103,7 +115,14 @@ func Figure16(seed uint64) []*metrics.Table {
 					}
 				}
 			}
-			byService[svc] = append(byService[svc], dist{string(scheme), metrics.FromSamples(lat)})
+			out[svc] = dist{string(scheme), metrics.FromSamples(lat)}
+		}
+		return out
+	})
+	byService := map[string][]dist{}
+	for _, schemeDists := range perScheme {
+		for _, svc := range services {
+			byService[svc] = append(byService[svc], schemeDists[svc])
 		}
 	}
 	var tables []*metrics.Table
@@ -126,16 +145,25 @@ func Figure16(seed uint64) []*metrics.Table {
 // improvements of ServiceFridge over the existing schemes at the tightest
 // budget (75%).
 func Headline(seed uint64) []*metrics.Table {
-	base := compareRun(seed, engine.Baseline, 1.0, false)
-	fridgeRes := compareRun(seed, engine.ServiceFridge, 0.75, false)
 	others := []engine.SchemeName{engine.PFirst, engine.TFirst, engine.Capping}
+	type job struct {
+		scheme engine.SchemeName
+		budget float64
+	}
+	jobs := []job{{engine.Baseline, 1.0}, {engine.ServiceFridge, 0.75}}
+	for _, s := range others {
+		jobs = append(jobs, job{s, 0.75})
+	}
+	results := parMap(jobs, func(j job) *engine.Result {
+		return compareRun(seed, j.scheme, j.budget, false)
+	})
+	base, fridgeRes := results[0], results[1]
 
 	var meanSum, p90Sum float64
 	for _, region := range []string{"A", "B"} {
 		fs := fridgeRes.Summary(region)
 		var omean, op90 time.Duration
-		for _, s := range others {
-			res := compareRun(seed, s, 0.75, false)
+		for _, res := range results[2:] {
 			sum := res.Summary(region)
 			omean += sum.Mean
 			op90 += sum.P90

@@ -12,6 +12,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"servicefridge/internal/engine"
@@ -79,20 +80,36 @@ func IDs() []string {
 func studyPools() map[string]int { return map[string]int{"A": 25, "B": 25} }
 
 // calibrated returns the measured maximum required power for the standard
-// study workload, memoized per seed (several figures share it).
-var calibCache = map[uint64]power.Watts{}
+// study workload, memoized per seed (several figures share it). The map is
+// mutex-guarded and each entry carries a sync.Once, so concurrent callers
+// singleflight on one calibration run per seed instead of racing or
+// duplicating it.
+type calibEntry struct {
+	once sync.Once
+	w    power.Watts
+}
+
+var (
+	calibMu    sync.Mutex
+	calibCache = map[uint64]*calibEntry{}
+)
 
 func calibrated(seed uint64) power.Watts {
-	if w, ok := calibCache[seed]; ok {
-		return w
+	calibMu.Lock()
+	e := calibCache[seed]
+	if e == nil {
+		e = &calibEntry{}
+		calibCache[seed] = e
 	}
-	w := engine.CalibrateMaxRequired(engine.Config{
-		Seed:        seed,
-		PoolWorkers: studyPools(),
-		Duration:    20 * time.Second,
+	calibMu.Unlock()
+	e.once.Do(func() {
+		e.w = engine.CalibrateMaxRequired(engine.Config{
+			Seed:        seed,
+			PoolWorkers: studyPools(),
+			Duration:    20 * time.Second,
+		})
 	})
-	calibCache[seed] = w
-	return w
+	return e.w
 }
 
 // ghzCol formats a frequency column header.

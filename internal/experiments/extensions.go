@@ -31,7 +31,9 @@ func Extensions() []Experiment { return append([]Experiment(nil), extensions...)
 func ExtScaleOut(seed uint64) []*metrics.Table {
 	tb := metrics.NewTable("Extension: region-A mean/p90 at 80% budget vs cluster size",
 		"workers", "cores", "Capping mean", "Capping p90", "Fridge mean", "Fridge p90", "fridge advantage")
-	for _, extra := range []int{0, 4, 8} {
+	// Cluster sizes are independent (each calibrates then compares two
+	// schemes); rows land in size order regardless of completion order.
+	rows := parMap([]int{0, 4, 8}, func(extra int) []any {
 		workers := 4 + extra
 		loadPer := 25 * workers / 4
 		replicas := workers / 4
@@ -80,8 +82,11 @@ func ExtScaleOut(seed uint64) []*metrics.Table {
 		capping := run(engine.Capping)
 		fridge := run(engine.ServiceFridge)
 		adv := 1 - float64(fridge.Mean)/float64(capping.Mean)
-		tb.Rowf(workers, (workers+1)*6,
-			capping.Mean, capping.P90, fridge.Mean, fridge.P90, pct(adv))
+		return []any{workers, (workers + 1) * 6,
+			capping.Mean, capping.P90, fridge.Mean, fridge.P90, pct(adv)}
+	})
+	for _, row := range rows {
+		tb.Rowf(row...)
 	}
 	return []*metrics.Table{tb}
 }
@@ -108,8 +113,9 @@ func ExtOpenLoop(seed uint64) []*metrics.Table {
 	tb := metrics.NewTable(
 		fmt.Sprintf("Extension: open-loop (A %.1f req/s, B %.1f req/s) at 80%% budget", rateA, rateB),
 		"scheme", "A mean", "A p99", "B mean", "B p99", "mean dyn power")
-	for _, scheme := range []engine.SchemeName{engine.Baseline, engine.Capping, engine.ServiceFridge} {
-		res := engine.Run(engine.Config{
+	schemes := []engine.SchemeName{engine.Baseline, engine.Capping, engine.ServiceFridge}
+	results := parMap(schemes, func(scheme engine.SchemeName) *engine.Result {
+		return engine.Run(engine.Config{
 			Seed:           seed,
 			Scheme:         scheme,
 			BudgetFraction: 0.8,
@@ -118,6 +124,9 @@ func ExtOpenLoop(seed uint64) []*metrics.Table {
 			Warmup:         5 * time.Second,
 			Duration:       20 * time.Second,
 		})
+	})
+	for i, scheme := range schemes {
+		res := results[i]
 		a, b := res.Summary("A"), res.Summary("B")
 		tb.Rowf(string(scheme), a.Mean, a.P99, b.Mean, b.P99,
 			fmt.Sprintf("%.1fW", float64(res.Meter.MeanDynamic())))

@@ -88,23 +88,40 @@ func Figure3(seed uint64) []*metrics.Table {
 func Figure5(seed uint64) []*metrics.Table {
 	spec := app.TrainTicket()
 	services := []string{"route", "price", "travel", "seat"}
-	var tables []*metrics.Table
+	// The full service×frequency profiling grid runs on the worker pool
+	// (each cell replays 60 requests on a private engine).
+	type cell struct {
+		svc  string
+		freq cluster.GHz
+	}
+	var cells []cell
 	for _, svc := range services {
+		for _, f := range cluster.ProfilePoints() {
+			cells = append(cells, cell{svc, f})
+		}
+	}
+	stats := parMap(cells, func(c cell) *metrics.LatencyStats {
+		res := runProfile(seed, app.TrainTicket(), "advanced-search", 60, c.freq, c.svc)
+		var lat []time.Duration
+		for _, tr := range res.Collector.Traces() {
+			for _, sp := range tr.Spans {
+				if sp.Service == c.svc {
+					lat = append(lat, sp.Latency())
+				}
+			}
+		}
+		return metrics.FromSamples(lat)
+	})
+
+	var tables []*metrics.Table
+	points := cluster.ProfilePoints()
+	for si, svc := range services {
 		tb := metrics.NewTable(
 			fmt.Sprintf("Figure 5: response time of %s at each frequency (CPUShare=%.2f)",
 				svc, spec.Service(svc).CPUShare),
 			"frequency", "p10", "p25", "p50", "p75", "p90", "mean")
-		for _, f := range cluster.ProfilePoints() {
-			res := runProfile(seed, app.TrainTicket(), "advanced-search", 60, f, svc)
-			var lat []time.Duration
-			for _, tr := range res.Collector.Traces() {
-				for _, sp := range tr.Spans {
-					if sp.Service == svc {
-						lat = append(lat, sp.Latency())
-					}
-				}
-			}
-			st := metrics.FromSamples(lat)
+		for fi, f := range points {
+			st := stats[si*len(points)+fi]
 			tb.Rowf(ghzCol(float64(f)),
 				st.Percentile(0.10), st.Percentile(0.25), st.Percentile(0.50),
 				st.Percentile(0.75), st.Percentile(0.90), st.Mean())
@@ -120,7 +137,27 @@ func Figure5(seed uint64) []*metrics.Table {
 // against the default swarm deployment.
 func Figure6(seed uint64) []*metrics.Table {
 	const workers = 10
-	run := func(observed string, f cluster.GHz) metrics.Summary {
+	critical := []string{"station", "ticketinfo", "travel"}
+	nonCritical := []string{"basic", "seat"}
+
+	// Twelve independent runs (per frequency: the default deployment plus
+	// five isolation configurations), fanned out across the pool.
+	type cell struct {
+		observed string
+		freq     cluster.GHz
+	}
+	var cells []cell
+	freqs := []cluster.GHz{cluster.FreqMax, 1.8}
+	for _, f := range freqs {
+		cells = append(cells, cell{"", cluster.FreqMax})
+		for _, svc := range critical {
+			cells = append(cells, cell{svc, f})
+		}
+		for _, svc := range nonCritical {
+			cells = append(cells, cell{svc, f})
+		}
+	}
+	summaries := parMap(cells, func(c cell) metrics.Summary {
 		cfg := engine.Config{
 			Seed:        seed,
 			Scheme:      engine.Baseline,
@@ -128,30 +165,28 @@ func Figure6(seed uint64) []*metrics.Table {
 			Warmup:      3 * time.Second,
 			Duration:    15 * time.Second,
 		}
-		if observed != "" {
-			cfg.PinTo = map[string]string{observed: "serverB"}
-			cfg.FixedFreqs = map[string]cluster.GHz{"serverB": f}
+		if c.observed != "" {
+			cfg.PinTo = map[string]string{c.observed: "serverB"}
+			cfg.FixedFreqs = map[string]cluster.GHz{"serverB": c.freq}
 		}
-		res := engine.Run(cfg)
-		return res.Summary("A")
-	}
-
-	critical := []string{"station", "ticketinfo", "travel"}
-	nonCritical := []string{"basic", "seat"}
+		return engine.Run(cfg).Summary("A")
+	})
 
 	var tables []*metrics.Table
-	for _, f := range []cluster.GHz{cluster.FreqMax, 1.8} {
+	perFreq := 1 + len(critical) + len(nonCritical)
+	for fi, f := range freqs {
 		tb := metrics.NewTable(
 			fmt.Sprintf("Figure 6: whole-application QoS, observed MS isolated at %v", f),
 			"configuration", "mean", "p90", "p95", "p99")
-		base := run("", cluster.FreqMax)
+		row := summaries[fi*perFreq:]
+		base := row[0]
 		tb.Rowf("baseline (default swarm deploy)", base.Mean, base.P90, base.P95, base.P99)
-		for _, svc := range critical {
-			s := run(svc, f)
+		for i, svc := range critical {
+			s := row[1+i]
 			tb.Rowf("isolate "+svc+" (critical)", s.Mean, s.P90, s.P95, s.P99)
 		}
-		for _, svc := range nonCritical {
-			s := run(svc, f)
+		for i, svc := range nonCritical {
+			s := row[1+len(critical)+i]
 			tb.Rowf("isolate "+svc+" (non-critical)", s.Mean, s.P90, s.P95, s.P99)
 		}
 		tables = append(tables, tb)

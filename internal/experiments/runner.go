@@ -1,0 +1,115 @@
+package experiments
+
+// The parallel experiment executor. Every engine.Run owns a private
+// sim.Engine and is a pure function of its Config, so independent runs are
+// embarrassingly parallel; the only cross-run state is the calibration
+// cache, which is singleflight-synchronized (see calibrated). Fan-out
+// happens at two levels: across registry entries (RunAll) and across
+// within-figure cells — scheme×budget, mix×frequency grids — via parMap.
+// Both assemble results by input index, so the output is byte-identical
+// to the sequential path for the same seed regardless of scheduling.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"servicefridge/internal/metrics"
+)
+
+// maxParallel bounds the number of simulation runs in flight per fan-out.
+var maxParallel atomic.Int64
+
+func init() { maxParallel.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetParallelism sets the worker-pool width used by parMap and RunAll.
+// n < 1 restores the default (GOMAXPROCS). 1 means fully sequential.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxParallel.Store(int64(n))
+}
+
+// Parallelism returns the current worker-pool width.
+func Parallelism() int { return int(maxParallel.Load()) }
+
+// parMap applies fn to every item on up to Parallelism() goroutines and
+// returns the results in input order. fn must not depend on execution
+// order (every simulation cell is seeded independently), which makes the
+// assembled result identical to a sequential loop.
+func parMap[T, R any](items []T, fn func(T) R) []R {
+	out := make([]R, len(items))
+	workers := Parallelism()
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i, it := range items {
+			out[i] = fn(it)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				out[i] = fn(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunResult is one regenerated experiment.
+type RunResult struct {
+	Experiment Experiment
+	Tables     []*metrics.Table
+	// Elapsed is the wall-clock time of this experiment's Run call (runs
+	// overlap under parallelism, so elapsed times do not sum to the total).
+	Elapsed time.Duration
+}
+
+// RunAll regenerates exps across a worker pool and calls emit exactly once
+// per experiment, in input order, streaming each result as soon as it and
+// all its predecessors have completed. Tables are identical to calling
+// e.Run(seed) sequentially.
+func RunAll(exps []Experiment, seed uint64, emit func(RunResult)) {
+	done := make([]chan RunResult, len(exps))
+	for i := range done {
+		done[i] = make(chan RunResult, 1)
+	}
+	workers := Parallelism()
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(exps) {
+					return
+				}
+				start := time.Now()
+				tables := exps[i].Run(seed)
+				done[i] <- RunResult{Experiment: exps[i], Tables: tables, Elapsed: time.Since(start)}
+			}
+		}()
+	}
+	for i := range exps {
+		emit(<-done[i])
+	}
+}

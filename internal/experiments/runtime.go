@@ -25,8 +25,11 @@ func Figure12(seed uint64) []*metrics.Table {
 	}
 	tb := metrics.NewTable("Figure 12: operating frequency per microservice at 80% power", header...)
 
-	freqs := map[string][]string{}
-	for _, mx := range mixes() {
+	// One run per access scenario, fanned out across the worker pool.
+	perMix := parMap(mixes(), func(mx struct {
+		Label string
+		A, B  float64
+	}) map[string]string {
 		res := engine.Run(engine.Config{
 			Seed:           seed,
 			Scheme:         engine.ServiceFridge,
@@ -36,13 +39,21 @@ func Figure12(seed uint64) []*metrics.Table {
 			Warmup:         5 * time.Second,
 			Duration:       20 * time.Second,
 		})
+		cells := make(map[string]string, len(app.StudyServiceNames()))
 		for _, svc := range app.StudyServiceNames() {
 			nodes := res.Orch.NodesOf(svc)
 			cell := "-"
 			if len(nodes) > 0 {
 				cell = nodes[0].Freq().String()
 			}
-			freqs[svc] = append(freqs[svc], cell)
+			cells[svc] = cell
+		}
+		return cells
+	})
+	freqs := map[string][]string{}
+	for _, cells := range perMix {
+		for _, svc := range app.StudyServiceNames() {
+			freqs[svc] = append(freqs[svc], cells[svc])
 		}
 	}
 	for _, svc := range app.StudyServiceNames() {
@@ -122,39 +133,51 @@ func Figure14(seed uint64) []*metrics.Table {
 	maxReq := calibrated(seed)
 	budgets := []float64{1.0, 0.95, 0.90, 0.85, 0.80, 0.75}
 
-	run := func(a, b float64, override map[string]float64, budget float64) *engine.Result {
+	// Every (scenario, budget, correct/mis-computed) cell is an
+	// independent run; fan all 24 out and assemble the two tables after.
+	type cell struct {
+		a, b     float64
+		override map[string]float64
+		budget   float64
+		region   string
+	}
+	var cells []cell
+	for _, bud := range budgets {
+		cells = append(cells,
+			cell{30, 0, nil, bud, "A"},
+			cell{30, 0, map[string]float64{"B": 30}, bud, "A"},
+			cell{0, 30, nil, bud, "B"},
+			cell{0, 30, map[string]float64{"A": 30}, bud, "B"},
+		)
+	}
+	summaries := parMap(cells, func(c cell) metrics.Summary {
 		return engine.Run(engine.Config{
 			Seed:           seed,
 			Scheme:         engine.ServiceFridge,
-			BudgetFraction: budget,
+			BudgetFraction: c.budget,
 			MaxRequired:    maxReq,
-			PoolWorkers:    mixPools(a, b),
+			PoolWorkers:    mixPools(c.a, c.b),
 			Warmup:         5 * time.Second,
 			Duration:       20 * time.Second,
 			Tune: func(f *fridge.Fridge) {
-				f.LoadOverride = override
+				f.LoadOverride = c.override
 			},
-		})
-	}
+		}).Summary(c.region)
+	})
 
 	// (a) Real traffic 30:0; the mis-computed controller believes 0:30
 	// (over-estimates how light the situation is).
 	ta := metrics.NewTable("Figure 14 (a): A:B=30:0, MCF mis-computed as 0:30 (region A QoS)",
 		"budget", "mean (correct)", "mean (mis-computed)", "p99 (correct)", "p99 (mis-computed)")
-	for _, bud := range budgets {
-		good := run(30, 0, nil, bud).Summary("A")
-		bad := run(30, 0, map[string]float64{"B": 30}, bud).Summary("A")
-		ta.Rowf(pct(bud), good.Mean, bad.Mean, good.P99, bad.P99)
-	}
-
 	// (b) Real traffic 0:30; the controller believes 30:0
 	// (under-estimates the criticality of the live mix).
 	tbl := metrics.NewTable("Figure 14 (b): A:B=0:30, MCF mis-computed as 30:0 (region B QoS)",
 		"budget", "mean (correct)", "mean (mis-computed)", "p99 (correct)", "p99 (mis-computed)")
-	for _, bud := range budgets {
-		good := run(0, 30, nil, bud).Summary("B")
-		bad := run(0, 30, map[string]float64{"A": 30}, bud).Summary("B")
-		tbl.Rowf(pct(bud), good.Mean, bad.Mean, good.P99, bad.P99)
+	for bi, bud := range budgets {
+		goodA, badA := summaries[4*bi], summaries[4*bi+1]
+		goodB, badB := summaries[4*bi+2], summaries[4*bi+3]
+		ta.Rowf(pct(bud), goodA.Mean, badA.Mean, goodA.P99, badA.P99)
+		tbl.Rowf(pct(bud), goodB.Mean, badB.Mean, goodB.P99, badB.P99)
 	}
 	return []*metrics.Table{ta, tbl}
 }

@@ -132,12 +132,16 @@ func Table4(uint64) []*metrics.Table {
 // studied services under the four A:B access scenarios and seven V/F
 // settings, with the three-level classification per scenario.
 func Figure11(uint64) []*metrics.Table {
-	spec := app.TwoRegionStudy()
-	calc := core.NewCalculator(core.BuildGraph(spec))
-	classifier := core.NewClassifier(calc)
-
-	var tables []*metrics.Table
-	for _, mx := range mixes() {
+	// Each scenario heatmap evaluates MCF at seven frequencies — pure CPU
+	// work, so each worker builds its own calculator and the four tables
+	// assemble in paper order.
+	return parMap(mixes(), func(mx struct {
+		Label string
+		A, B  float64
+	}) *metrics.Table {
+		spec := app.TwoRegionStudy()
+		calc := core.NewCalculator(core.BuildGraph(spec))
+		classifier := core.NewClassifier(calc)
 		load := map[string]float64{"A": mx.A, "B": mx.B}
 		header := []string{"microservice"}
 		for _, f := range cluster.ProfilePoints() {
@@ -163,7 +167,6 @@ func Figure11(uint64) []*metrics.Table {
 			rev = append(rev, levels[svc].String())
 			tb.Row(rev...)
 		}
-		tables = append(tables, tb)
-	}
-	return tables
+		return tb
+	})
 }

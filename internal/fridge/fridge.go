@@ -89,6 +89,9 @@ type Fridge struct {
 	// adjustment was made against so stale adjustments expire.
 	adjust     map[string]int
 	adjustBase map[string]core.Criticality
+	// baseLevels is the classifier's raw output from the last tick —
+	// the ground truth bump records into adjustBase.
+	baseLevels map[string]core.Criticality
 
 	// zone state from the last tick.
 	zoneServers map[Zone][]*cluster.Server
@@ -116,6 +119,7 @@ func New(ctx *schemes.Context, spec *app.Spec) *Fridge {
 		MigrateServices: true,
 		adjust:          make(map[string]int),
 		adjustBase:      make(map[string]core.Criticality),
+		baseLevels:      make(map[string]core.Criticality),
 		zoneServers:     make(map[Zone][]*cluster.Server),
 		zoneFreq: map[Zone]cluster.GHz{
 			Hot: cluster.FreqMax, Warm: cluster.FreqMax, Cold: cluster.FreqMax,
@@ -203,6 +207,7 @@ func (f *Fridge) Tick() {
 
 	// 1. Classify from MCF, then apply Algorithm 1 adjustments.
 	base := f.classifier.Classify(load)
+	f.baseLevels = base
 	f.levels = f.applyAdjust(base)
 
 	// 2. Size and assign zones.
@@ -289,57 +294,7 @@ func (f *Fridge) assignZones(load map[string]float64) {
 	if total == 0 || n == 0 {
 		counts[Warm] = n
 	} else {
-		// Largest-remainder allocation with a floor of 1 server for any
-		// zone with demand.
-		zones := []Zone{Cold, Warm, Hot}
-		remaining := n
-		type frac struct {
-			z Zone
-			f float64
-		}
-		var fracs []frac
-		for _, z := range zones {
-			if demand[z] <= 0 {
-				continue
-			}
-			exact := demand[z] / total * float64(n)
-			c := int(exact)
-			if c < 1 {
-				c = 1
-			}
-			counts[z] = c
-			remaining -= c
-			fracs = append(fracs, frac{z, exact - float64(int(exact))})
-		}
-		sort.Slice(fracs, func(i, j int) bool {
-			if fracs[i].f != fracs[j].f {
-				return fracs[i].f > fracs[j].f
-			}
-			return fracs[i].z > fracs[j].z
-		})
-		for _, fr := range fracs {
-			if remaining <= 0 {
-				break
-			}
-			counts[fr.z]++
-			remaining--
-		}
-		// Over-allocation (floors exceeded n): trim from the hot end.
-		for _, z := range []Zone{Hot, Warm, Cold} {
-			for remaining < 0 && counts[z] > 1 {
-				counts[z]--
-				remaining++
-			}
-		}
-		for _, z := range []Zone{Hot, Warm} {
-			for remaining < 0 && counts[z] > 0 {
-				counts[z]--
-				remaining++
-			}
-		}
-		if remaining > 0 {
-			counts[Warm] += remaining
-		}
+		counts = allocateZoneCounts(n, demand)
 	}
 
 	f.zoneServers = map[Zone][]*cluster.Server{}
@@ -357,6 +312,69 @@ func (f *Fridge) assignZones(load map[string]float64) {
 	if manager != nil {
 		f.zoneServers[Cold] = append(f.zoneServers[Cold], manager)
 	}
+}
+
+// allocateZoneCounts splits n workers across the zones proportionally to
+// their aggregate MCF demand by largest remainder, with a floor of one
+// server for any zone with demand.
+func allocateZoneCounts(n int, demand map[Zone]float64) map[Zone]int {
+	var total float64
+	for _, d := range demand {
+		total += d
+	}
+	counts := map[Zone]int{}
+	remaining := n
+	type frac struct {
+		z Zone
+		f float64
+	}
+	var fracs []frac
+	for _, z := range []Zone{Cold, Warm, Hot} {
+		if demand[z] <= 0 {
+			continue
+		}
+		exact := demand[z] / total * float64(n)
+		c := int(exact)
+		if c < 1 {
+			c = 1
+		}
+		counts[z] = c
+		remaining -= c
+		// The remainder is measured against the *allocated* count: a zone
+		// floored up to the one-server minimum already holds more than its
+		// exact share, so it must not also win the remainder pass.
+		fracs = append(fracs, frac{z, exact - float64(c)})
+	}
+	sort.Slice(fracs, func(i, j int) bool {
+		if fracs[i].f != fracs[j].f {
+			return fracs[i].f > fracs[j].f
+		}
+		return fracs[i].z > fracs[j].z
+	})
+	for _, fr := range fracs {
+		if remaining <= 0 {
+			break
+		}
+		counts[fr.z]++
+		remaining--
+	}
+	// Over-allocation (floors exceeded n): trim from the hot end.
+	for _, z := range []Zone{Hot, Warm, Cold} {
+		for remaining < 0 && counts[z] > 1 {
+			counts[z]--
+			remaining++
+		}
+	}
+	for _, z := range []Zone{Hot, Warm} {
+		for remaining < 0 && counts[z] > 0 {
+			counts[z]--
+			remaining++
+		}
+	}
+	if remaining > 0 {
+		counts[Warm] += remaining
+	}
+	return counts
 }
 
 // zoneForPlacement returns the servers of z usable for container
@@ -513,8 +531,7 @@ func (f *Fridge) isFunction(svc string) bool {
 }
 
 func (f *Fridge) bump(svc string, delta int) {
-	cur, ok := f.levels[svc]
-	if !ok {
+	if _, ok := f.levels[svc]; !ok {
 		return
 	}
 	f.adjust[svc] += delta
@@ -524,11 +541,12 @@ func (f *Fridge) bump(svc string, delta int) {
 	if f.adjust[svc] < -2 {
 		f.adjust[svc] = -2
 	}
-	// Remember the base level so the adjustment expires when the
-	// classifier moves the service on its own.
-	base := int(cur) - (f.adjust[svc] - delta)
-	if base >= int(core.Low) && base <= int(core.High) {
-		f.adjustBase[svc] = core.Criticality(base)
+	// Remember the classifier's base level so the adjustment expires when
+	// the classifier moves the service on its own. The base is tracked
+	// directly (not reconstructed from the clamped effective level, which
+	// records a wrong base once the adjustment saturates).
+	if base, ok := f.baseLevels[svc]; ok {
+		f.adjustBase[svc] = base
 	}
 }
 

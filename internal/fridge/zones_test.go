@@ -1,0 +1,116 @@
+package fridge
+
+import (
+	"testing"
+	"time"
+
+	"servicefridge/internal/core"
+)
+
+// TestAllocateZoneCounts pins the proportional zone-sizing arithmetic of
+// Figure 9: largest-remainder allocation with a one-server floor per zone
+// with demand. A zone floored *up* to the minimum must not also compete
+// in the remainder pass with its original fractional part — that inverts
+// the proportional split (the 3.4/1.7/0.9 case below used to come out as
+// Cold 3, Warm 1, Hot 2).
+func TestAllocateZoneCounts(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		demand map[Zone]float64
+		want   map[Zone]int
+	}{
+		{
+			name:   "floored-up zone keeps no remainder",
+			n:      6,
+			demand: map[Zone]float64{Cold: 3.4, Warm: 1.7, Hot: 0.9},
+			want:   map[Zone]int{Cold: 3, Warm: 2, Hot: 1},
+		},
+		{
+			name:   "exact shares",
+			n:      6,
+			demand: map[Zone]float64{Cold: 3, Warm: 2, Hot: 1},
+			want:   map[Zone]int{Cold: 3, Warm: 2, Hot: 1},
+		},
+		{
+			name:   "remainder goes to largest non-floored fraction",
+			n:      5,
+			demand: map[Zone]float64{Cold: 2.6, Warm: 1.6, Hot: 0.8},
+			want:   map[Zone]int{Cold: 3, Warm: 1, Hot: 1},
+		},
+		{
+			name:   "single zone takes every server",
+			n:      4,
+			demand: map[Zone]float64{Warm: 2.5},
+			want:   map[Zone]int{Warm: 4},
+		},
+		{
+			name:   "two zones split proportionally",
+			n:      5,
+			demand: map[Zone]float64{Cold: 3, Hot: 1},
+			want:   map[Zone]int{Cold: 4, Hot: 1},
+		},
+		{
+			name:   "floors over-subscribe: trim from the hot end",
+			n:      2,
+			demand: map[Zone]float64{Cold: 10, Warm: 0.1, Hot: 0.1},
+			want:   map[Zone]int{Cold: 1, Warm: 1, Hot: 0},
+		},
+		{
+			name:   "zero-demand zone gets nothing",
+			n:      6,
+			demand: map[Zone]float64{Cold: 1, Hot: 0},
+			want:   map[Zone]int{Cold: 6},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := allocateZoneCounts(tc.n, tc.demand)
+			total := 0
+			for _, z := range []Zone{Cold, Warm, Hot} {
+				if got[z] != tc.want[z] {
+					t.Errorf("counts[%v] = %d, want %d (full: %v)", z, got[z], tc.want[z], got)
+				}
+				total += got[z]
+			}
+			if total != tc.n {
+				t.Errorf("allocated %d servers, want %d", total, tc.n)
+			}
+		})
+	}
+}
+
+// TestRepeatedPromotionPastClampSticks is the Algorithm 1 bookkeeping
+// regression: promoting a service once per tick until the ±2 adjustment
+// clamp saturates must not corrupt the recorded base level. The old code
+// reconstructed the base from the already-clamped current level, recorded
+// a wrong adjustBase, and the next tick expired the promotion — dropping
+// the service from High straight back to Low under unchanged traffic.
+func TestRepeatedPromotionPastClampSticks(t *testing.T) {
+	eng, f, _ := harness(t, 1.0)
+	f.Beta = 0 // isolate manual bumps from the warm-zone autoscaler
+	feed(f, 30, 0)
+	eng.RunFor(time.Second)
+	f.Tick()
+	if got := f.Levels()["route"]; got != core.Low {
+		t.Fatalf("route starts at %v under pure-A load, want low", got)
+	}
+	// One promotion per control interval, continuing past the clamp.
+	for i := 0; i < 3; i++ {
+		f.bump("route", +1)
+		feed(f, 30, 0)
+		f.Tick()
+	}
+	if got := f.Levels()["route"]; got != core.High {
+		t.Fatalf("route = %v after repeated promotion, want high", got)
+	}
+	// The promotion must survive further ticks while the classifier base
+	// is unchanged (still low under the same pure-A load).
+	for i := 0; i < 2; i++ {
+		feed(f, 30, 0)
+		f.Tick()
+		if got := f.Levels()["route"]; got != core.High {
+			t.Fatalf("route = %v on steady-load tick %d, want high (promotion silently expired)", got, i+1)
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"servicefridge/internal/sim"
 )
 
 // LatencyStats accumulates duration samples and answers the paper's
@@ -59,26 +61,12 @@ func (s *LatencyStats) sort() {
 	}
 }
 
-// Percentile returns the q-quantile (q in [0,1]) with linear interpolation.
+// Percentile returns the q-quantile (q in [0,1]) with linear
+// interpolation, delegating to sim.Quantile — the single definition of
+// "percentile" shared by every experiment — so the two can never diverge.
 func (s *LatencyStats) Percentile(q float64) time.Duration {
-	if len(s.samples) == 0 {
-		return 0
-	}
 	s.sort()
-	if q <= 0 {
-		return s.samples[0]
-	}
-	if q >= 1 {
-		return s.samples[len(s.samples)-1]
-	}
-	pos := q * float64(len(s.samples)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return s.samples[lo]
-	}
-	frac := pos - float64(lo)
-	return s.samples[lo] + time.Duration(frac*float64(s.samples[hi]-s.samples[lo]))
+	return sim.Quantile(s.samples, q)
 }
 
 // P90, P95 and P99 are the tail percentiles of Figure 15.
