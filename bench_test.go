@@ -64,6 +64,7 @@ func BenchmarkHeadline(b *testing.B) { benchExperiment(b, "headline") }
 // Extension studies (EXPERIMENTS.md "Extensions" section).
 func BenchmarkExtScaleOut(b *testing.B) { benchExperiment(b, "ext-scale") }
 func BenchmarkExtOpenLoop(b *testing.B) { benchExperiment(b, "ext-openloop") }
+func BenchmarkExtEvents(b *testing.B)   { benchExperiment(b, "ext-events") }
 
 // ---------------------------------------------------------------------
 // Parallel experiment executor: sequential vs parallel regeneration of

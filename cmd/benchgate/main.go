@@ -1,0 +1,75 @@
+// Command benchgate checks the bench trajectory in BENCH_experiments.json
+// (appended by TestEmitBenchTrajectory under BENCH_TRAJECTORY=1) and fails
+// when the latest measurement shows the parallel executor losing to the
+// sequential one. CI runs it after the bench smoke job so a regression in
+// the worker-pool executor turns the build red instead of silently eroding.
+//
+// The speedup floor only applies on multi-core runners: with GOMAXPROCS=1
+// the pool degenerates to sequential execution plus scheduling overhead,
+// so a speedup slightly below 1.0 is expected and the gate records the
+// measurement without judging it.
+//
+// Usage:
+//
+//	benchgate [-file BENCH_experiments.json] [-floor 1.0]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type entry struct {
+	Benchmark         string  `json:"benchmark"`
+	GoMaxProcs        int     `json:"gomaxprocs"`
+	ParallelWorkers   int     `json:"parallel_workers"`
+	Experiments       int     `json:"experiments"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	Speedup           float64 `json:"speedup"`
+}
+
+func main() {
+	var (
+		file  = flag.String("file", "BENCH_experiments.json", "bench trajectory file")
+		floor = flag.Float64("floor", 1.0, "minimum acceptable sequential/parallel speedup")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	var trajectory []entry
+	if err := json.Unmarshal(raw, &trajectory); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *file, err)
+		os.Exit(1)
+	}
+	if len(trajectory) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s holds no measurements\n", *file)
+		os.Exit(1)
+	}
+
+	last := trajectory[len(trajectory)-1]
+	fmt.Printf("benchgate: %s — %d experiments, sequential %.2fs, parallel %.2fs (%d workers), speedup %.3fx\n",
+		last.Benchmark, last.Experiments, last.SequentialSeconds,
+		last.ParallelSeconds, last.ParallelWorkers, last.Speedup)
+	if last.SequentialSeconds <= 0 || last.ParallelSeconds <= 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: latest entry has non-positive timings")
+		os.Exit(1)
+	}
+	if last.GoMaxProcs <= 1 {
+		fmt.Printf("benchgate: single-core runner (GOMAXPROCS=%d); speedup floor not applied\n",
+			last.GoMaxProcs)
+		return
+	}
+	if last.Speedup < *floor {
+		fmt.Fprintf(os.Stderr, "benchgate: speedup %.3fx below floor %.2fx on %d cores — parallel executor regressed\n",
+			last.Speedup, *floor, last.GoMaxProcs)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: speedup %.3fx meets floor %.2fx\n", last.Speedup, *floor)
+}

@@ -4,15 +4,20 @@
 //
 //	experiments -list            # show available experiment IDs
 //	experiments -run fig15       # regenerate one artifact
-//	experiments -run all         # regenerate everything (paper order)
+//	experiments -run all         # regenerate the paper (paper order)
+//	experiments -run all,ext     # paper plus the extension studies
 //	experiments -seed 7 -run fig6
 //	experiments -run all -parallel 8
+//	experiments -run all -events events.jsonl
 //
 // Independent simulation runs fan out across -parallel workers, both
 // across experiments and across within-figure cells; tables print in
 // paper order and are byte-identical to a sequential (-parallel 1) run
 // for the same seed. Timing lines go to stderr so stdout stays
-// deterministic.
+// deterministic. -events additionally executes the canonical
+// instrumented run (see internal/experiments.ExportEventsJSONL) and
+// writes its controller event stream as JSONL, also byte-identical
+// across -parallel widths.
 package main
 
 import (
@@ -34,6 +39,8 @@ func main() {
 		format   = flag.String("format", "table", "output format: table or csv")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max concurrent simulation runs (1 = sequential)")
+		events = flag.String("events", "",
+			"write the canonical instrumented run's controller event stream as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -45,16 +52,16 @@ func main() {
 	}
 
 	var todo []experiments.Experiment
-	switch {
-	case *run == "all":
-		todo = experiments.All()
-	case *run == "ext":
-		todo = experiments.Extensions()
-	default:
-		for _, id := range strings.Split(*run, ",") {
-			e, ok := experiments.ByID(strings.TrimSpace(id))
+	for _, id := range strings.Split(*run, ",") {
+		switch id = strings.TrimSpace(id); id {
+		case "all":
+			todo = append(todo, experiments.All()...)
+		case "ext":
+			todo = append(todo, experiments.Extensions()...)
+		default:
+			e, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n",
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: all, ext, %s\n",
 					id, strings.Join(experiments.IDs(), ", "))
 				os.Exit(2)
 			}
@@ -78,4 +85,21 @@ func main() {
 	})
 	fmt.Fprintf(os.Stderr, "(total: %d experiments in %v, parallel=%d)\n",
 		len(todo), time.Since(start).Round(time.Millisecond), experiments.Parallelism())
+
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "events: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.ExportEventsJSONL(*seed, f); err != nil {
+			fmt.Fprintf(os.Stderr, "events: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "events: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "(event stream written to %s)\n", *events)
+	}
 }

@@ -4,15 +4,33 @@ import (
 	"testing"
 	"time"
 
+	"servicefridge/internal/obs"
 	"servicefridge/internal/orchestrator"
 )
+
+// countEvents tallies a recorder's stream by kind, checking sim-time
+// monotonicity along the way.
+func countEvents(t *testing.T, rec *obs.Recorder) map[string]int {
+	t.Helper()
+	counts := map[string]int{}
+	var lastAt int64 = -1
+	for _, r := range rec.Events() {
+		if int64(r.At) < lastAt {
+			t.Fatalf("event stream not time-ordered: %v after %v", r.At, lastAt)
+		}
+		lastAt = int64(r.At)
+		counts[r.Ev.Kind()]++
+	}
+	return counts
+}
 
 // TestChaosContainerCrashUnderFridge injects container crashes mid-run
 // while ServiceFridge is actively migrating, and verifies the system
 // degrades gracefully: the run completes, no requests are lost mid-flight
 // beyond those in the crash window, and the crashed services recover.
 func TestChaosContainerCrashUnderFridge(t *testing.T) {
-	res := Build(quick(Config{Seed: 6, Scheme: ServiceFridge, BudgetFraction: 0.8}))
+	rec := obs.NewRecorder(0)
+	res := Build(quick(Config{Seed: 6, Scheme: ServiceFridge, BudgetFraction: 0.8, Events: rec}))
 	res.Orch.SetFailurePolicy(orchestrator.FailurePolicy{
 		AutoRestart:  true,
 		RestartDelay: 500 * time.Millisecond,
@@ -52,12 +70,23 @@ func TestChaosContainerCrashUnderFridge(t *testing.T) {
 	if res.Executor.Completed() == before {
 		t.Fatal("system wedged after crashes")
 	}
+	// The event stream mirrors the orchestrator's failure accounting: one
+	// Crash event per counted crash, and — with AutoRestart on and the run
+	// continuing well past the last injection — one Restart each.
+	counts := countEvents(t, rec)
+	if got, want := counts["crash"], int(res.Orch.Crashes()); got != want {
+		t.Fatalf("%d crash events for %d orchestrator crashes", got, want)
+	}
+	if got, want := counts["restart"], int(res.Orch.Crashes()); got != want {
+		t.Fatalf("%d restart events for %d crashes under AutoRestart", got, want)
+	}
 }
 
 // TestChaosCrashDuringMigration crashes a container that is mid-migration
 // (old instance stopping, new one starting) and checks consistency.
 func TestChaosCrashDuringMigration(t *testing.T) {
-	res := Build(quick(Config{Seed: 7, Scheme: ServiceFridge, BudgetFraction: 0.8}))
+	rec := obs.NewRecorder(0)
+	res := Build(quick(Config{Seed: 7, Scheme: ServiceFridge, BudgetFraction: 0.8, Events: rec}))
 	res.Orch.SetFailurePolicy(orchestrator.FailurePolicy{AutoRestart: true})
 	// The fridge migrates during the first few ticks; crash ticketinfo
 	// right in that window, repeatedly.
@@ -76,5 +105,12 @@ func TestChaosCrashDuringMigration(t *testing.T) {
 	}
 	if res.Executor.Completed() == 0 {
 		t.Fatal("nothing completed")
+	}
+	counts := countEvents(t, rec)
+	if got, want := counts["crash"], int(res.Orch.Crashes()); got != want {
+		t.Fatalf("%d crash events for %d orchestrator crashes", got, want)
+	}
+	if counts["restart"] == 0 {
+		t.Fatal("no restart events despite AutoRestart")
 	}
 }

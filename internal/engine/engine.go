@@ -13,6 +13,7 @@ import (
 	"servicefridge/internal/cluster"
 	"servicefridge/internal/fridge"
 	"servicefridge/internal/metrics"
+	"servicefridge/internal/obs"
 	"servicefridge/internal/orchestrator"
 	"servicefridge/internal/power"
 	"servicefridge/internal/schemes"
@@ -101,6 +102,12 @@ type Config struct {
 	// StartupDelay overrides the orchestrator's container startup time
 	// when positive (migration-cost sensitivity studies).
 	StartupDelay time.Duration
+	// Events, when non-nil, records the controller event timeline of this
+	// run: zone splits, migrations, criticality promotions, DVFS steps,
+	// power samples, and container crashes/restarts. Recording is passive
+	// (no RNG draws, no scheduling), so an instrumented run is otherwise
+	// byte-identical to an uninstrumented one.
+	Events *obs.Recorder
 }
 
 func (c *Config) fill() {
@@ -214,7 +221,12 @@ func Build(cfg Config) *Result {
 	meter := power.NewMeter(cl, model, cfg.MeterInterval)
 	budget := power.NewBudget(model, cl.Size(), cfg.BudgetFraction)
 	budget.Base = cfg.MaxRequired
-	ctx := &schemes.Context{Cluster: cl, Meter: meter, Budget: budget, Orch: orch}
+	if cfg.Events != nil {
+		orch.Rec = cfg.Events
+		meter.Rec = cfg.Events
+		meter.BudgetFn = func() power.Watts { return budget.Cap() }
+	}
+	ctx := &schemes.Context{Cluster: cl, Meter: meter, Budget: budget, Orch: orch, Rec: cfg.Events}
 
 	res := &Result{
 		Config: cfg, Engine: eng, Cluster: cl, Orch: orch, Meter: meter,

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"servicefridge/internal/obs"
+	"servicefridge/internal/sim"
+)
+
+func TestEventTablesFromSyntheticStream(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	rec.Emit(1e9, obs.PowerSample{Zone: "cluster", Watts: 310, Budget: 350})
+	rec.Emit(1e9, obs.ZoneReassign{Zone: "cold", Servers: []string{"m", "b"}})
+	rec.Emit(1e9, obs.ZoneReassign{Zone: "warm", Servers: []string{"c"}})
+	rec.Emit(1e9, obs.ZoneReassign{Zone: "hot", Servers: []string{"d"}})
+	rec.Emit(2e9, obs.ZoneReassign{Zone: "cold", Servers: []string{"m", "b"}})
+	rec.Emit(2e9, obs.ZoneReassign{Zone: "warm", Servers: []string{"c"}})
+	rec.Emit(2e9, obs.ZoneReassign{Zone: "hot", Servers: []string{"d"}})
+	rec.Emit(2e9, obs.FreqChange{Server: "d", Zone: "hot", GHz: 1.8})
+	rec.Emit(2e9, obs.Migration{Service: "route", From: "d", To: "b", Zone: "cold"})
+
+	tables := eventTables(rec.Events())
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2", len(tables))
+	}
+	narrative := tables[0].String()
+	// Both instants changed something (first snapshot, then a DVFS step
+	// plus a migration), so both are narrative rows.
+	if tables[0].NumRows() != 2 {
+		t.Fatalf("narrative rows = %d, want 2\n%s", tables[0].NumRows(), narrative)
+	}
+	if !strings.Contains(narrative, "1.8") {
+		t.Fatalf("hot-zone frequency missing from narrative:\n%s", narrative)
+	}
+	counts := tables[1].String()
+	for _, want := range []string{"migration", "freq_change", "zone_reassign"} {
+		if !strings.Contains(counts, want) {
+			t.Fatalf("counts table missing %s:\n%s", want, counts)
+		}
+	}
+}
+
+func TestEventTablesSkipsUnchangedTicks(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	for i := int64(1); i <= 3; i++ {
+		rec.Emit(sim.Time(1e9*i), obs.ZoneReassign{Zone: "cold", Servers: []string{"m"}})
+		rec.Emit(sim.Time(1e9*i), obs.ZoneReassign{Zone: "warm", Servers: []string{"c"}})
+		rec.Emit(sim.Time(1e9*i), obs.ZoneReassign{Zone: "hot", Servers: []string{"d"}})
+	}
+	tables := eventTables(rec.Events())
+	// Only the first tick changes state; identical later ticks collapse.
+	if tables[0].NumRows() != 1 {
+		t.Fatalf("narrative rows = %d, want 1\n%s", tables[0].NumRows(), tables[0])
+	}
+}
+
+func TestExtEventsRegistered(t *testing.T) {
+	if _, ok := ByID("ext-events"); !ok {
+		t.Fatal("ext-events missing from the extension registry")
+	}
+}
+
+// TestExportEventsJSONLParallelismIndependent is the acceptance criterion
+// in miniature: the exported stream must be byte-identical whatever the
+// executor's worker-pool width.
+func TestExportEventsJSONLParallelismIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the canonical instrumented simulation twice")
+	}
+	export := func(width int) []byte {
+		prev := Parallelism()
+		SetParallelism(width)
+		defer SetParallelism(prev)
+		var buf bytes.Buffer
+		if err := ExportEventsJSONL(1, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq, par := export(1), export(8)
+	if len(seq) == 0 {
+		t.Fatal("export produced no events")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatal("event JSONL differs between -parallel 1 and -parallel 8")
+	}
+}

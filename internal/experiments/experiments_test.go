@@ -150,17 +150,17 @@ func TestCalibrationMemoized(t *testing.T) {
 
 func TestExtensionsRegistered(t *testing.T) {
 	exts := Extensions()
-	if len(exts) != 2 {
-		t.Fatalf("extensions = %d, want 2", len(exts))
+	if len(exts) != 3 {
+		t.Fatalf("extensions = %d, want 3", len(exts))
 	}
-	for _, id := range []string{"ext-scale", "ext-openloop"} {
+	for _, id := range []string{"ext-scale", "ext-openloop", "ext-events"} {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("extension %s not resolvable via ByID", id)
 		}
 	}
 	// Extensions must not leak into the paper registry.
 	for _, id := range IDs() {
-		if id == "ext-scale" || id == "ext-openloop" {
+		if id == "ext-scale" || id == "ext-openloop" || id == "ext-events" {
 			t.Fatal("extension leaked into paper registry")
 		}
 	}

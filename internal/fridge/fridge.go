@@ -20,8 +20,10 @@ import (
 	"servicefridge/internal/app"
 	"servicefridge/internal/cluster"
 	"servicefridge/internal/core"
+	"servicefridge/internal/obs"
 	"servicefridge/internal/power"
 	"servicefridge/internal/schemes"
+	"servicefridge/internal/sim"
 	"servicefridge/internal/trace"
 	"servicefridge/internal/workload"
 )
@@ -212,6 +214,7 @@ func (f *Fridge) Tick() {
 
 	// 2. Size and assign zones.
 	f.assignZones(load)
+	f.recordZones()
 
 	// 3. Migrate services to their zones.
 	if f.MigrateServices {
@@ -224,6 +227,45 @@ func (f *Fridge) Tick() {
 
 	// 5. Set zone frequencies to fit the budget (cold never capped).
 	f.setZoneFrequencies()
+	f.recordZonePower()
+}
+
+// now returns the controller's simulation clock for event timestamps.
+func (f *Fridge) now() sim.Time { return f.ctx.Cluster.Engine().Now() }
+
+// recordZones emits one ZoneReassign snapshot per zone, so the event
+// stream always carries the full hot/warm/cold partition of this tick.
+func (f *Fridge) recordZones() {
+	if f.ctx.Rec == nil {
+		return
+	}
+	at := f.now()
+	for _, z := range []Zone{Cold, Warm, Hot} {
+		names := make([]string, 0, len(f.zoneServers[z]))
+		for _, s := range f.zoneServers[z] {
+			names = append(names, s.Name())
+		}
+		f.ctx.Rec.Emit(at, obs.ZoneReassign{Zone: z.String(), Servers: names})
+	}
+}
+
+// recordZonePower emits each zone's measured draw against the cluster
+// budget, from the meter's latest per-server windows.
+func (f *Fridge) recordZonePower() {
+	if f.ctx.Rec == nil {
+		return
+	}
+	at := f.now()
+	budget := float64(f.ctx.Budget.Cap())
+	for _, z := range []Zone{Cold, Warm, Hot} {
+		var w float64
+		for _, s := range f.zoneServers[z] {
+			if smp, ok := f.ctx.Meter.LastServer(s.Name()); ok {
+				w += float64(smp.Power)
+			}
+		}
+		f.ctx.Rec.Emit(at, obs.PowerSample{Zone: z.String(), Watts: w, Budget: budget})
+	}
 }
 
 // applyAdjust overlays promotions/demotions on the base classification,
@@ -455,8 +497,49 @@ func (f *Fridge) migrate() {
 			for _, n := range targets {
 				assigned[n.Name()] += share
 			}
+			f.recordMigration(svc, zoneOf(lvl), targets)
 			f.ctx.Orch.MoveService(svc, targets)
 		}
+	}
+}
+
+// recordMigration diffs a service's current active hosts against its new
+// targets and emits one Migration event per changed placement, pairing
+// drained nodes with their replacements.
+func (f *Fridge) recordMigration(svc string, z Zone, targets []*cluster.Server) {
+	if f.ctx.Rec == nil {
+		return
+	}
+	oldSet := map[string]bool{}
+	var removed []string
+	for _, n := range f.ctx.Orch.NodesOf(svc) {
+		oldSet[n.Name()] = true
+	}
+	newSet := map[string]bool{}
+	var added []string
+	for _, n := range targets {
+		newSet[n.Name()] = true
+		if !oldSet[n.Name()] {
+			added = append(added, n.Name())
+		}
+	}
+	for n := range oldSet {
+		if !newSet[n] {
+			removed = append(removed, n)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	at := f.now()
+	for i := 0; i < len(added) || i < len(removed); i++ {
+		var from, to string
+		if i < len(removed) {
+			from = removed[i]
+		}
+		if i < len(added) {
+			to = added[i]
+		}
+		f.ctx.Rec.Emit(at, obs.Migration{Service: svc, From: from, To: to, Zone: z.String()})
 	}
 }
 
@@ -469,7 +552,7 @@ func (f *Fridge) demoteForPower() {
 	if len(high) == 0 {
 		return
 	}
-	f.bump(high[len(high)-1], -1)
+	f.bump(high[len(high)-1], -1, "power-shortage")
 	f.demotions++
 }
 
@@ -510,7 +593,7 @@ func (f *Fridge) autoScale() {
 		victim := maxUtilServer(warm, utils)
 		for _, svc := range f.ctx.Orch.ServicesOn(victim) {
 			if f.isFunction(svc) && f.levels[svc] != core.High {
-				f.bump(svc, +1)
+				f.bump(svc, +1, "warm-util-high")
 				f.promotions++
 			}
 		}
@@ -518,7 +601,7 @@ func (f *Fridge) autoScale() {
 		victim := minUtilServer(warm, utils)
 		for _, svc := range f.ctx.Orch.ServicesOn(victim) {
 			if f.isFunction(svc) && f.levels[svc] != core.Low {
-				f.bump(svc, -1)
+				f.bump(svc, -1, "warm-util-low")
 				f.demotions++
 			}
 		}
@@ -530,7 +613,7 @@ func (f *Fridge) isFunction(svc string) bool {
 	return ms != nil && ms.Kind == app.KindFunction
 }
 
-func (f *Fridge) bump(svc string, delta int) {
+func (f *Fridge) bump(svc string, delta int, reason string) {
 	if _, ok := f.levels[svc]; !ok {
 		return
 	}
@@ -547,6 +630,22 @@ func (f *Fridge) bump(svc string, delta int) {
 	// records a wrong base once the adjustment saturates).
 	if base, ok := f.baseLevels[svc]; ok {
 		f.adjustBase[svc] = base
+	}
+	if f.ctx.Rec != nil {
+		// The effective level the adjustment produces on the next tick.
+		lvl := int(f.baseLevels[svc]) + f.adjust[svc]
+		if lvl < int(core.Low) {
+			lvl = int(core.Low)
+		}
+		if lvl > int(core.High) {
+			lvl = int(core.High)
+		}
+		level := core.Criticality(lvl).String()
+		if delta > 0 {
+			f.ctx.Rec.Emit(f.now(), obs.Promote{Service: svc, Level: level, Reason: reason})
+		} else {
+			f.ctx.Rec.Emit(f.now(), obs.Demote{Service: svc, Level: level, Reason: reason})
+		}
 	}
 }
 
@@ -603,13 +702,25 @@ func (f *Fridge) setZoneFrequencies() {
 		f.demoteForPower()
 	}
 	for _, s := range f.zoneServers[Cold] {
-		s.SetFreq(cluster.FreqMax)
+		f.setFreqRecorded(s, Cold, cluster.FreqMax)
 	}
 	for _, s := range f.zoneServers[Warm] {
-		s.SetFreq(f.guardCritical(s, warmF))
+		f.setFreqRecorded(s, Warm, f.guardCritical(s, warmF))
 	}
 	for _, s := range f.zoneServers[Hot] {
-		s.SetFreq(f.guardCritical(s, hotF))
+		f.setFreqRecorded(s, Hot, f.guardCritical(s, hotF))
+	}
+}
+
+// setFreqRecorded actuates one server's frequency, emitting a FreqChange
+// event when the setting actually moves.
+func (f *Fridge) setFreqRecorded(s *cluster.Server, z Zone, want cluster.GHz) {
+	prev := s.Freq()
+	s.SetFreq(want)
+	if f.ctx.Rec != nil && s.Freq() != prev {
+		f.ctx.Rec.Emit(f.now(), obs.FreqChange{
+			Server: s.Name(), Zone: z.String(), GHz: float64(s.Freq()),
+		})
 	}
 }
 

@@ -247,7 +247,7 @@ func TestPromotionAdjustmentExpiresWhenBaseChanges(t *testing.T) {
 	eng.RunFor(time.Second)
 	f.Tick()
 	// Manually promote a low service.
-	f.bump("route", +1)
+	f.bump("route", +1, "test")
 	feed(f, 30, 0)
 	f.Tick()
 	if f.Levels()["route"] != core.Uncertain {

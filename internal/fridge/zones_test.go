@@ -97,7 +97,7 @@ func TestRepeatedPromotionPastClampSticks(t *testing.T) {
 	}
 	// One promotion per control interval, continuing past the clamp.
 	for i := 0; i < 3; i++ {
-		f.bump("route", +1)
+		f.bump("route", +1, "test")
 		feed(f, 30, 0)
 		f.Tick()
 	}

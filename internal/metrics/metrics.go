@@ -78,11 +78,24 @@ func (s *LatencyStats) P95() time.Duration { return s.Percentile(0.95) }
 // P99 returns the 99th percentile.
 func (s *LatencyStats) P99() time.Duration { return s.Percentile(0.99) }
 
-// Min returns the smallest sample.
-func (s *LatencyStats) Min() time.Duration { return s.Percentile(0) }
+// Min returns the smallest sample, or 0 with no samples. The endpoints
+// are read directly after sorting — no quantile interpolation.
+func (s *LatencyStats) Min() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[0]
+}
 
-// Max returns the largest sample.
-func (s *LatencyStats) Max() time.Duration { return s.Percentile(1) }
+// Max returns the largest sample, or 0 with no samples.
+func (s *LatencyStats) Max() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[len(s.samples)-1]
+}
 
 // StdDev returns the population standard deviation.
 func (s *LatencyStats) StdDev() time.Duration {

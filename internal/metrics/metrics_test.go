@@ -35,6 +35,30 @@ func TestLatencyStatsBasics(t *testing.T) {
 	}
 }
 
+func TestLatencyStatsMinMaxEdgeCases(t *testing.T) {
+	empty := NewLatencyStats()
+	if empty.Min() != 0 || empty.Max() != 0 {
+		t.Fatalf("empty Min/Max = %v/%v, want 0/0", empty.Min(), empty.Max())
+	}
+	one := FromSamples([]time.Duration{msd(7)})
+	if one.Min() != msd(7) || one.Max() != msd(7) {
+		t.Fatalf("singleton Min/Max = %v/%v, want 7ms", one.Min(), one.Max())
+	}
+	// The direct endpoint reads must agree with the quantile endpoints.
+	s := FromSamples([]time.Duration{msd(30), msd(10), msd(50), msd(20)})
+	if s.Min() != s.Percentile(0) || s.Max() != s.Percentile(1) {
+		t.Fatalf("Min/Max diverge from Percentile(0)/Percentile(1): %v/%v vs %v/%v",
+			s.Min(), s.Max(), s.Percentile(0), s.Percentile(1))
+	}
+	// Min/Max before any Percentile call must still trigger the sort.
+	u := NewLatencyStats()
+	u.Add(msd(9))
+	u.Add(msd(3))
+	if u.Min() != msd(3) || u.Max() != msd(9) {
+		t.Fatalf("unsorted Min/Max = %v/%v, want 3ms/9ms", u.Min(), u.Max())
+	}
+}
+
 func TestLatencyStatsInterleavedAddAndQuery(t *testing.T) {
 	s := NewLatencyStats()
 	s.Add(msd(10))

@@ -1,0 +1,213 @@
+// Package obs is the deterministic controller event layer: every
+// power-management decision the controller stack takes (zone splits,
+// migrations, promotions, DVFS steps, power samples, crashes) is recorded
+// as a typed event keyed by simulation time. The recorder is a fixed-size
+// ring buffer attached to an experiment run; because the simulator is
+// single-threaded and events carry (sim.Time, sequence) keys, two runs
+// with the same seed produce byte-identical event streams regardless of
+// how many runs execute concurrently — the property the CI determinism
+// gates diff for.
+package obs
+
+import (
+	"strconv"
+
+	"servicefridge/internal/sim"
+)
+
+// Event is one typed controller decision or observation. Implementations
+// append their payload as JSON members in a fixed field order, which keeps
+// the JSONL export stable and diffable.
+type Event interface {
+	// Kind is the short snake_case discriminator written to the "kind"
+	// JSON field.
+	Kind() string
+	// appendFields appends the payload as `,"k":v` JSON members.
+	appendFields(b []byte) []byte
+}
+
+// ZoneReassign snapshots one zone's server set for a control tick. The
+// fridge emits one per zone per tick, so the stream always carries the
+// full hot/warm/cold partition (Figure 9's server numbers over time).
+type ZoneReassign struct {
+	Zone    string
+	Servers []string
+}
+
+// Kind implements Event.
+func (ZoneReassign) Kind() string { return "zone_reassign" }
+
+func (e ZoneReassign) appendFields(b []byte) []byte {
+	b = appendStr(b, "zone", e.Zone)
+	b = append(b, `,"servers":[`...)
+	for i, s := range e.Servers {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, s)
+	}
+	return append(b, ']')
+}
+
+// Migration records one container move of the start-new-then-kill-old
+// strategy: Service leaves From and lands on To inside Zone. From is empty
+// when the move only adds a replica host; To is empty when it only drains
+// one.
+type Migration struct {
+	Service string
+	From    string
+	To      string
+	Zone    string
+}
+
+// Kind implements Event.
+func (Migration) Kind() string { return "migration" }
+
+func (e Migration) appendFields(b []byte) []byte {
+	b = appendStr(b, "svc", e.Service)
+	b = appendStr(b, "from", e.From)
+	b = appendStr(b, "to", e.To)
+	return appendStr(b, "zone", e.Zone)
+}
+
+// Promote records an Algorithm 1 criticality promotion. Level is the
+// effective level after the adjustment; Reason names the trigger.
+type Promote struct {
+	Service string
+	Level   string
+	Reason  string
+}
+
+// Kind implements Event.
+func (Promote) Kind() string { return "promote" }
+
+func (e Promote) appendFields(b []byte) []byte {
+	b = appendStr(b, "svc", e.Service)
+	b = appendStr(b, "level", e.Level)
+	return appendStr(b, "reason", e.Reason)
+}
+
+// Demote records an Algorithm 1 or power-shortage criticality demotion.
+type Demote struct {
+	Service string
+	Level   string
+	Reason  string
+}
+
+// Kind implements Event.
+func (Demote) Kind() string { return "demote" }
+
+func (e Demote) appendFields(b []byte) []byte {
+	b = appendStr(b, "svc", e.Service)
+	b = appendStr(b, "level", e.Level)
+	return appendStr(b, "reason", e.Reason)
+}
+
+// FreqChange records one server's DVFS actuation to a new frequency, with
+// the zone that dictated it.
+type FreqChange struct {
+	Server string
+	Zone   string
+	GHz    float64
+}
+
+// Kind implements Event.
+func (FreqChange) Kind() string { return "freq_change" }
+
+func (e FreqChange) appendFields(b []byte) []byte {
+	b = appendStr(b, "server", e.Server)
+	b = appendStr(b, "zone", e.Zone)
+	return appendFloat(b, "ghz", e.GHz)
+}
+
+// PowerSample is one power-meter window: the draw of Zone ("cluster" for
+// the whole-cluster reading) against the admissible budget.
+type PowerSample struct {
+	Zone   string
+	Watts  float64
+	Budget float64
+}
+
+// Kind implements Event.
+func (PowerSample) Kind() string { return "power_sample" }
+
+func (e PowerSample) appendFields(b []byte) []byte {
+	b = appendStr(b, "zone", e.Zone)
+	b = appendFloat(b, "watts", e.Watts)
+	return appendFloat(b, "budget", e.Budget)
+}
+
+// Crash records an abrupt container failure on Node.
+type Crash struct {
+	Service string
+	Node    string
+}
+
+// Kind implements Event.
+func (Crash) Kind() string { return "crash" }
+
+func (e Crash) appendFields(b []byte) []byte {
+	b = appendStr(b, "svc", e.Service)
+	return appendStr(b, "node", e.Node)
+}
+
+// Restart records the auto-restart replacement of a crashed container.
+type Restart struct {
+	Service string
+	Node    string
+}
+
+// Kind implements Event.
+func (Restart) Kind() string { return "restart" }
+
+func (e Restart) appendFields(b []byte) []byte {
+	b = appendStr(b, "svc", e.Service)
+	return appendStr(b, "node", e.Node)
+}
+
+// Scale records a horizontal replica-count change of a service.
+type Scale struct {
+	Service string
+	From    int
+	To      int
+}
+
+// Kind implements Event.
+func (Scale) Kind() string { return "scale" }
+
+func (e Scale) appendFields(b []byte) []byte {
+	b = appendStr(b, "svc", e.Service)
+	b = appendInt(b, "from", int64(e.From))
+	return appendInt(b, "to", int64(e.To))
+}
+
+func appendStr(b []byte, key, val string) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return strconv.AppendQuote(b, val)
+}
+
+func appendInt(b []byte, key string, val int64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return strconv.AppendInt(b, val, 10)
+}
+
+func appendFloat(b []byte, key string, val float64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	// Shortest round-trippable representation: deterministic for a given
+	// bit pattern, so goldens and cross-run diffs are stable.
+	return strconv.AppendFloat(b, val, 'g', -1, 64)
+}
+
+// Record is one recorded event with its simulation-time key and the
+// tie-breaking sequence number assigned at emit time.
+type Record struct {
+	At  sim.Time
+	Seq uint64
+	Ev  Event
+}

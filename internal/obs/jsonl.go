@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// AppendJSONLine appends rec as one JSON object (no trailing newline) to
+// b. Field order is fixed — "at", "seq", "kind", then the event's payload
+// in declaration order — so equal event streams encode to equal bytes.
+func AppendJSONLine(b []byte, rec Record) []byte {
+	b = append(b, `{"at":`...)
+	b = strconv.AppendInt(b, int64(rec.At), 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendUint(b, rec.Seq, 10)
+	b = append(b, `,"kind":`...)
+	b = strconv.AppendQuote(b, rec.Ev.Kind())
+	b = rec.Ev.appendFields(b)
+	return append(b, '}')
+}
+
+// WriteJSONL writes the recorder's retained events as JSON Lines,
+// oldest-first, one event per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	var b []byte
+	for _, rec := range r.Events() {
+		b = AppendJSONLine(b[:0], rec)
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"servicefridge/internal/sim"
+)
+
+// goldenRecorder emits one event of every kind, in a fixed order, at
+// ascending sim times — the reference stream behind the golden file.
+func goldenRecorder() *Recorder {
+	r := NewRecorder(0)
+	sec := func(s float64) sim.Time { return sim.Time(time.Duration(s * float64(time.Second))) }
+	r.Emit(sec(1), ZoneReassign{Zone: "cold", Servers: []string{"manager", "serverB"}})
+	r.Emit(sec(1), ZoneReassign{Zone: "hot", Servers: nil})
+	r.Emit(sec(1), FreqChange{Server: "serverC", Zone: "hot", GHz: 1.8})
+	r.Emit(sec(1), PowerSample{Zone: "cluster", Watts: 123.45, Budget: 350.5})
+	r.Emit(sec(2), Migration{Service: "route", From: "serverC", To: "serverB", Zone: "cold"})
+	r.Emit(sec(2), Promote{Service: "route", Level: "high", Reason: "warm-util-high"})
+	r.Emit(sec(2.5), Demote{Service: "config", Level: "low", Reason: "power-shortage"})
+	r.Emit(sec(3), Crash{Service: "config", Node: "serverD"})
+	r.Emit(sec(3.5), Restart{Service: "config", Node: "serverD"})
+	r.Emit(sec(4), Scale{Service: "seat", From: 1, To: 3})
+	return r
+}
+
+// TestJSONLGolden pins the exact wire encoding: field order, float
+// formatting, quoting. Any drift breaks the committed golden and, in CI,
+// the cross-width event diff this encoding underwrites.
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile("testdata/events.golden.jsonl", buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile("testdata/events.golden.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("JSONL encoding drifted from golden.\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestJSONLIsValidJSONAndMonotonic checks every line parses as JSON, that
+// "at" never decreases and "seq" strictly increases, and that the three
+// header fields lead every line in fixed order.
+func TestJSONLIsValidJSONAndMonotonic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var lastAt, lastSeq int64 = -1, -1
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, `{"at":`) || !strings.Contains(line, `"seq":`) {
+			t.Fatalf("line does not lead with at/seq: %s", line)
+		}
+		var m struct {
+			At   int64  `json:"at"`
+			Seq  int64  `json:"seq"`
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		if m.At < lastAt {
+			t.Fatalf("sim time went backwards: %d after %d", m.At, lastAt)
+		}
+		if m.Seq <= lastSeq {
+			t.Fatalf("seq not strictly increasing: %d after %d", m.Seq, lastSeq)
+		}
+		if m.Kind == "" {
+			t.Fatalf("line without kind: %s", line)
+		}
+		lastAt, lastSeq = m.At, m.Seq
+	}
+	if lastSeq != 9 {
+		t.Fatalf("expected 10 lines, last seq %d", lastSeq)
+	}
+}
+
+func TestAppendJSONLineEscapesStrings(t *testing.T) {
+	b := AppendJSONLine(nil, Record{At: 0, Seq: 0, Ev: Crash{Service: `sv"c`, Node: "n\n"}})
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("escaped line does not parse: %v (%s)", err, b)
+	}
+	if m["svc"] != `sv"c` || m["node"] != "n\n" {
+		t.Fatalf("round-trip lost content: %v", m)
+	}
+}

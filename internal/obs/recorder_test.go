@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+
+	"servicefridge/internal/sim"
+)
+
+func TestRecorderRingBufferWraps(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.Emit(sim.Time(i), Crash{Service: fmt.Sprintf("s%d", i), Node: "n"})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events returned %d records", len(evs))
+	}
+	// Oldest two were overwritten: retained stream starts at seq 2 and
+	// stays (time, seq)-monotonic.
+	for i, rec := range evs {
+		wantSeq := uint64(i + 2)
+		if rec.Seq != wantSeq || rec.At != sim.Time(wantSeq) {
+			t.Fatalf("record %d = (at %d, seq %d), want (at %d, seq %d)",
+				i, rec.At, rec.Seq, wantSeq, wantSeq)
+		}
+		if rec.Ev.(Crash).Service != fmt.Sprintf("s%d", wantSeq) {
+			t.Fatalf("record %d carries wrong payload %+v", i, rec.Ev)
+		}
+	}
+}
+
+func TestRecorderUnderCapacityKeepsAll(t *testing.T) {
+	r := NewRecorder(8)
+	r.Emit(1, Promote{Service: "a", Level: "high", Reason: "test"})
+	r.Emit(2, Demote{Service: "b", Level: "low", Reason: "test"})
+	if r.Len() != 2 || r.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	if evs[0].Ev.Kind() != "promote" || evs[1].Ev.Kind() != "demote" {
+		t.Fatalf("order lost: %v then %v", evs[0].Ev.Kind(), evs[1].Ev.Kind())
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(0, Crash{Service: "x", Node: "n"}) // must not panic
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder should be the disabled event layer")
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	if c := cap(NewRecorder(0).buf); c != DefaultCapacity {
+		t.Fatalf("default capacity = %d, want %d", c, DefaultCapacity)
+	}
+	if c := cap(NewRecorder(-5).buf); c != DefaultCapacity {
+		t.Fatalf("negative capacity = %d, want %d", c, DefaultCapacity)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"servicefridge/internal/cluster"
+	"servicefridge/internal/obs"
 	"servicefridge/internal/sim"
 )
 
@@ -41,6 +42,9 @@ type Orchestrator struct {
 	// serving traffic. Container start is fast (the paper's motivation
 	// for start-new-then-kill-old migration); default 500ms.
 	StartupDelay time.Duration
+	// Rec, when non-nil, receives container lifecycle events (crash,
+	// restart, scale). Nil disables recording.
+	Rec *obs.Recorder
 
 	nextID     int
 	containers map[int]*Container

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"servicefridge/internal/cluster"
+	"servicefridge/internal/obs"
 )
 
 // This file extends the orchestrator with horizontal replica scaling and
@@ -26,6 +27,9 @@ func (o *Orchestrator) Scale(service string, n int, nodes []*cluster.Server) {
 		if !c.stopping {
 			live = append(live, c)
 		}
+	}
+	if len(live) != n {
+		o.Rec.Emit(o.eng.Now(), obs.Scale{Service: service, From: len(live), To: n})
 	}
 	switch {
 	case len(live) < n:
@@ -90,8 +94,12 @@ func (o *Orchestrator) Crash(c *Container) {
 	node := c.Node
 	service := c.Service
 	o.Remove(c)
+	o.Rec.Emit(o.eng.Now(), obs.Crash{Service: service, Node: node.Name()})
 	if o.failurePolicy.AutoRestart {
-		restart := func() { o.Place(service, node, false) }
+		restart := func() {
+			o.Place(service, node, false)
+			o.Rec.Emit(o.eng.Now(), obs.Restart{Service: service, Node: node.Name()})
+		}
 		if o.failurePolicy.RestartDelay > 0 {
 			o.eng.Schedule(o.failurePolicy.RestartDelay, restart)
 		} else {

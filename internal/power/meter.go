@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"servicefridge/internal/cluster"
+	"servicefridge/internal/obs"
 	"servicefridge/internal/sim"
 )
 
@@ -37,6 +38,12 @@ type Meter struct {
 	cl       *cluster.Cluster
 	model    Model
 	interval time.Duration
+
+	// Rec, when non-nil, receives one cluster-wide PowerSample event per
+	// sampling window (zone "cluster"). BudgetFn supplies the admissible
+	// draw recorded alongside; nil records a zero budget.
+	Rec      *obs.Recorder
+	BudgetFn func() Watts
 
 	lastBusy    map[string]time.Duration
 	lastBusyTag map[string]map[string]time.Duration
@@ -148,6 +155,15 @@ func (m *Meter) sample() {
 	}
 	m.totals = append(m.totals, cs)
 	m.lastAt = now
+	if m.Rec != nil {
+		var budget Watts
+		if m.BudgetFn != nil {
+			budget = m.BudgetFn()
+		}
+		m.Rec.Emit(now, obs.PowerSample{
+			Zone: "cluster", Watts: float64(total), Budget: float64(budget),
+		})
+	}
 }
 
 // Samples returns all per-server readings in time order.

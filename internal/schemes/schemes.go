@@ -19,6 +19,7 @@ import (
 
 	"servicefridge/internal/app"
 	"servicefridge/internal/cluster"
+	"servicefridge/internal/obs"
 	"servicefridge/internal/orchestrator"
 	"servicefridge/internal/power"
 )
@@ -39,6 +40,10 @@ type Context struct {
 	Meter   *power.Meter
 	Budget  power.Budget
 	Orch    *orchestrator.Orchestrator
+	// Rec, when non-nil, receives the controller's decision events (zone
+	// splits, migrations, DVFS steps). A nil recorder disables recording;
+	// obs.Recorder methods are nil-safe, so schemes emit unconditionally.
+	Rec *obs.Recorder
 }
 
 // normLoad converts a measured utilization at frequency f into normalized
