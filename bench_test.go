@@ -24,6 +24,7 @@ import (
 	"servicefridge/internal/fridge"
 	"servicefridge/internal/metrics"
 	"servicefridge/internal/sim"
+	"servicefridge/internal/trace"
 )
 
 // sinkTables prevents dead-code elimination of experiment results.
@@ -237,6 +238,108 @@ func BenchmarkEngineEvents(b *testing.B) {
 	b.ResetTimer()
 	eng.Schedule(time.Microsecond, tick)
 	eng.Run()
+}
+
+// BenchmarkEngineCalendar measures a Schedule+Step cycle against a standing
+// event population — the pure calendar cost of the value-typed 4-ary heap.
+// Steady state is allocation-free (gated via bench_gates.json).
+func BenchmarkEngineCalendar(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	fn := sim.Handler(func() {})
+	eng.Grow(1024)
+	for i := 0; i < 512; i++ {
+		eng.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(time.Millisecond, fn)
+		eng.Step()
+	}
+}
+
+// BenchmarkEngineTimerChurn measures the cancellable-timer cycle: arm,
+// cancel, and reclaim-at-pop through the generation-counter slot table.
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	fn := sim.Handler(func() {})
+	eng.Grow(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := eng.After(time.Millisecond, fn)
+		tm.Stop()
+		eng.Step()
+	}
+}
+
+// benchCollector returns a collector warmed to its allocation-free steady
+// state: tallies presized, stores pre-grown, and a span backing array
+// recycled through the pool.
+func benchCollector(extra int) *trace.Collector {
+	col := trace.NewCollector()
+	col.KeepSpans = false
+	col.Presize([]string{"svc"}, 1<<22)
+	warm := col.StartTrace("A", 0)
+	for i := 0; i < 4096; i++ {
+		col.AddSpan(warm, trace.Span{Service: "svc", Host: "h", Submit: sim.Time(i), Start: sim.Time(i), End: sim.Time(i + 1)})
+	}
+	col.FinishTrace(warm, 5000)
+	col.Grow(extra)
+	return col
+}
+
+// BenchmarkCollectorAddSpan measures recording one span on an open trace.
+func BenchmarkCollectorAddSpan(b *testing.B) {
+	col := benchCollector(16)
+	tr := col.StartTrace("A", 6000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := sim.Time(6000 + i)
+		col.AddSpan(tr, trace.Span{Service: "svc", Host: "h", Submit: at, Start: at, End: at + 1})
+	}
+}
+
+// BenchmarkCollectorTraceLifecycle measures a whole request's collector
+// cost: StartTrace, two spans, FinishTrace into the finish-ordered stores.
+func BenchmarkCollectorTraceLifecycle(b *testing.B) {
+	b.ReportAllocs()
+	var col *trace.Collector
+	for i := 0; i < b.N; i++ {
+		if i%(1<<20) == 0 {
+			b.StopTimer()
+			col = benchCollector(1 << 20) // re-grow outside the timed region
+			b.StartTimer()
+		}
+		at := sim.Time(6000 + i)
+		tr := col.StartTrace("A", at)
+		col.AddSpan(tr, trace.Span{Service: "svc", Host: "h", Submit: at, Start: at, End: at + 1})
+		col.AddSpan(tr, trace.Span{Service: "svc", Host: "h", Submit: at + 1, Start: at + 1, End: at + 2})
+		col.FinishTrace(tr, at+2)
+	}
+}
+
+// BenchmarkCollectorResponseAfter measures the post-warmup latency query —
+// one binary search over the finish-ordered store instead of the old
+// full-scan-and-rebuild.
+func BenchmarkCollectorResponseAfter(b *testing.B) {
+	col := trace.NewCollector()
+	col.KeepSpans = false
+	col.Grow(100_000)
+	for i := 0; i < 100_000; i++ {
+		tr := col.StartTrace("A", sim.Time(i*1000))
+		col.FinishTrace(tr, sim.Time(i*1000+500))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var out []time.Duration
+	for i := 0; i < b.N; i++ {
+		out = col.ResponseAfter("A", 50_000_000)
+	}
+	if len(out) == 0 {
+		b.Fatal("query returned nothing")
+	}
 }
 
 // BenchmarkServerJobChurn measures job submit/complete cycles through the

@@ -1,75 +1,309 @@
-// Command benchgate checks the bench trajectory in BENCH_experiments.json
-// (appended by TestEmitBenchTrajectory under BENCH_TRAJECTORY=1) and fails
-// when the latest measurement shows the parallel executor losing to the
-// sequential one. CI runs it after the bench smoke job so a regression in
-// the worker-pool executor turns the build red instead of silently eroding.
+// Command benchgate enforces the repo's performance gates in CI.
 //
-// The speedup floor only applies on multi-core runners: with GOMAXPROCS=1
-// the pool degenerates to sequential execution plus scheduling overhead,
-// so a speedup slightly below 1.0 is expected and the gate records the
-// measurement without judging it.
+// It checks three things:
+//
+//  1. The bench trajectory in BENCH_experiments.json (appended by
+//     TestEmitBenchTrajectory under BENCH_TRAJECTORY=1): the latest
+//     measurement must not show the parallel executor losing to the
+//     sequential one. The speedup floor only applies on multi-core
+//     runners: with GOMAXPROCS=1 the pool degenerates to sequential
+//     execution plus scheduling overhead, so a speedup slightly below
+//     1.0 is expected and the gate records the measurement without
+//     judging it.
+//
+//  2. With -improve, per-experiment wall-clock improvements between the
+//     first and latest trajectory entries — the regression lock for the
+//     zero-allocation simulation core ("fig15:0.20" demands the latest
+//     fig15 regeneration be at least 20% faster than the first recorded
+//     one). Entries measured under a different GOMAXPROCS than the
+//     baseline are recorded but not judged, since wall-clock across
+//     machine shapes is not comparable.
+//
+//  3. With -bench-out, microbenchmark output from `go test -bench
+//     -benchmem` against the ceilings committed in bench_gates.json:
+//     allocs/op (exact ceilings — the hot paths gate at zero) and
+//     ns/op (generous ceilings that catch order-of-magnitude
+//     regressions without flaking on runner speed).
 //
 // Usage:
 //
 //	benchgate [-file BENCH_experiments.json] [-floor 1.0]
+//	          [-improve fig15:0.20] [-bench-out bench.txt] [-gates bench_gates.json]
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
 type entry struct {
-	Benchmark         string  `json:"benchmark"`
-	GoMaxProcs        int     `json:"gomaxprocs"`
-	ParallelWorkers   int     `json:"parallel_workers"`
-	Experiments       int     `json:"experiments"`
-	SequentialSeconds float64 `json:"sequential_seconds"`
-	ParallelSeconds   float64 `json:"parallel_seconds"`
-	Speedup           float64 `json:"speedup"`
+	Benchmark         string             `json:"benchmark"`
+	GoMaxProcs        int                `json:"gomaxprocs"`
+	ParallelWorkers   int                `json:"parallel_workers"`
+	Experiments       int                `json:"experiments"`
+	SequentialSeconds float64            `json:"sequential_seconds"`
+	ParallelSeconds   float64            `json:"parallel_seconds"`
+	Speedup           float64            `json:"speedup"`
+	PerExperimentSeq  map[string]float64 `json:"per_experiment_sequential_seconds"`
+}
+
+// gates is the committed bench_gates.json: per-benchmark ceilings.
+type gates struct {
+	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
+	NsPerOp     map[string]float64 `json:"ns_per_op"`
+}
+
+// benchLine is one parsed result line of `go test -bench -benchmem`.
+type benchLine struct {
+	name   string // with the -GOMAXPROCS suffix stripped
+	nsOp   float64
+	allocs float64
+	hasMem bool
 }
 
 func main() {
 	var (
-		file  = flag.String("file", "BENCH_experiments.json", "bench trajectory file")
-		floor = flag.Float64("floor", 1.0, "minimum acceptable sequential/parallel speedup")
+		file    = flag.String("file", "BENCH_experiments.json", "bench trajectory file")
+		floor   = flag.Float64("floor", 1.0, "minimum acceptable sequential/parallel speedup")
+		improve = flag.String("improve", "",
+			"comma-separated per-experiment improvement demands, e.g. fig15:0.20 (latest vs first trajectory entry)")
+		benchOut = flag.String("bench-out", "",
+			"output of `go test -bench -benchmem` to check against the gates file")
+		gatesFile = flag.String("gates", "bench_gates.json", "microbenchmark ceilings (allocs/op, ns/op)")
 	)
 	flag.Parse()
 
-	raw, err := os.ReadFile(*file)
+	failed := false
+
+	trajectory, err := readTrajectory(*file)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}
+	if !gateSpeedup(trajectory, *floor) {
+		failed = true
+	}
+	if *improve != "" && !gateImprovements(trajectory, *improve) {
+		failed = true
+	}
+	if *benchOut != "" && !gateMicrobenches(*benchOut, *gatesFile) {
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func readTrajectory(file string) ([]entry, error) {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
 	var trajectory []entry
 	if err := json.Unmarshal(raw, &trajectory); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *file, err)
-		os.Exit(1)
+		return nil, fmt.Errorf("parsing %s: %w", file, err)
 	}
 	if len(trajectory) == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %s holds no measurements\n", *file)
-		os.Exit(1)
+		return nil, fmt.Errorf("%s holds no measurements", file)
 	}
+	return trajectory, nil
+}
 
+func gateSpeedup(trajectory []entry, floor float64) bool {
 	last := trajectory[len(trajectory)-1]
 	fmt.Printf("benchgate: %s — %d experiments, sequential %.2fs, parallel %.2fs (%d workers), speedup %.3fx\n",
 		last.Benchmark, last.Experiments, last.SequentialSeconds,
 		last.ParallelSeconds, last.ParallelWorkers, last.Speedup)
 	if last.SequentialSeconds <= 0 || last.ParallelSeconds <= 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: latest entry has non-positive timings")
-		os.Exit(1)
+		return false
 	}
 	if last.GoMaxProcs <= 1 {
 		fmt.Printf("benchgate: single-core runner (GOMAXPROCS=%d); speedup floor not applied\n",
 			last.GoMaxProcs)
-		return
+		return true
 	}
-	if last.Speedup < *floor {
+	if last.Speedup < floor {
 		fmt.Fprintf(os.Stderr, "benchgate: speedup %.3fx below floor %.2fx on %d cores — parallel executor regressed\n",
-			last.Speedup, *floor, last.GoMaxProcs)
-		os.Exit(1)
+			last.Speedup, floor, last.GoMaxProcs)
+		return false
 	}
-	fmt.Printf("benchgate: speedup %.3fx meets floor %.2fx\n", last.Speedup, *floor)
+	fmt.Printf("benchgate: speedup %.3fx meets floor %.2fx\n", last.Speedup, floor)
+	return true
+}
+
+// gateImprovements checks "id:frac" demands: the latest trajectory entry
+// must regenerate experiment id at least frac faster (in sequential
+// wall-clock) than the first entry that measured it.
+func gateImprovements(trajectory []entry, spec string) bool {
+	latest := trajectory[len(trajectory)-1]
+	ok := true
+	for _, demand := range strings.Split(spec, ",") {
+		id, fracStr, found := strings.Cut(strings.TrimSpace(demand), ":")
+		if !found {
+			fmt.Fprintf(os.Stderr, "benchgate: malformed -improve entry %q (want id:fraction)\n", demand)
+			ok = false
+			continue
+		}
+		frac, err := strconv.ParseFloat(fracStr, 64)
+		if err != nil || frac <= 0 || frac >= 1 {
+			fmt.Fprintf(os.Stderr, "benchgate: bad improvement fraction in %q\n", demand)
+			ok = false
+			continue
+		}
+		// Baseline: the first entry that measured this experiment.
+		var base *entry
+		for i := range trajectory {
+			if _, has := trajectory[i].PerExperimentSeq[id]; has {
+				base = &trajectory[i]
+				break
+			}
+		}
+		after, has := latest.PerExperimentSeq[id]
+		if base == nil || !has {
+			fmt.Fprintf(os.Stderr, "benchgate: no trajectory measurements for %s\n", id)
+			ok = false
+			continue
+		}
+		before := base.PerExperimentSeq[id]
+		if base == &trajectory[len(trajectory)-1] {
+			fmt.Printf("benchgate: %s has a single measurement (%.2fs); improvement gate idle until the next entry\n",
+				id, before)
+			continue
+		}
+		if base.GoMaxProcs != latest.GoMaxProcs {
+			fmt.Printf("benchgate: %s measured under GOMAXPROCS %d vs baseline %d; wall-clock not comparable, gate skipped\n",
+				id, latest.GoMaxProcs, base.GoMaxProcs)
+			continue
+		}
+		got := 1 - after/before
+		if got < frac {
+			fmt.Fprintf(os.Stderr, "benchgate: %s improved %.1f%% (%.2fs -> %.2fs), demanded >= %.1f%%\n",
+				id, got*100, before, after, frac*100)
+			ok = false
+			continue
+		}
+		fmt.Printf("benchgate: %s improved %.1f%% (%.2fs -> %.2fs), meets %.1f%% demand\n",
+			id, got*100, before, after, frac*100)
+	}
+	return ok
+}
+
+// parseBenchOut extracts result lines like
+//
+//	BenchmarkEngineCalendar-4  100000  95.15 ns/op  0 B/op  0 allocs/op
+//
+// stripping the -GOMAXPROCS suffix from the name.
+func parseBenchOut(path string) ([]benchLine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []benchLine
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		bl := benchLine{name: name}
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				bl.nsOp = v
+			case "allocs/op":
+				bl.allocs = v
+				bl.hasMem = true
+			}
+		}
+		out = append(out, bl)
+	}
+	return out, sc.Err()
+}
+
+// gateMicrobenches checks parsed benchmark output against the committed
+// ceilings. Every benchmark named in the gates file must appear in the
+// output — a silently dropped benchmark must not silently drop its gate.
+func gateMicrobenches(benchOut, gatesFile string) bool {
+	raw, err := os.ReadFile(gatesFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return false
+	}
+	var g gates
+	if err := json.Unmarshal(raw, &g); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", gatesFile, err)
+		return false
+	}
+	lines, err := parseBenchOut(benchOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return false
+	}
+	byName := map[string]benchLine{}
+	for _, l := range lines {
+		byName[l.name] = l
+	}
+	ok := true
+	for _, name := range sortedKeys(g.AllocsPerOp) {
+		ceil := g.AllocsPerOp[name]
+		l, found := byName[name]
+		switch {
+		case !found:
+			fmt.Fprintf(os.Stderr, "benchgate: %s gated on allocs/op but absent from %s\n", name, benchOut)
+			ok = false
+		case !l.hasMem:
+			fmt.Fprintf(os.Stderr, "benchgate: %s has no allocs/op (run with -benchmem)\n", name)
+			ok = false
+		case l.allocs > ceil:
+			fmt.Fprintf(os.Stderr, "benchgate: %s at %.2f allocs/op exceeds ceiling %.0f\n", name, l.allocs, ceil)
+			ok = false
+		default:
+			fmt.Printf("benchgate: %s %.2f allocs/op within ceiling %.0f\n", name, l.allocs, ceil)
+		}
+	}
+	for _, name := range sortedKeys(g.NsPerOp) {
+		ceil := g.NsPerOp[name]
+		l, found := byName[name]
+		switch {
+		case !found:
+			fmt.Fprintf(os.Stderr, "benchgate: %s gated on ns/op but absent from %s\n", name, benchOut)
+			ok = false
+		case l.nsOp > ceil:
+			fmt.Fprintf(os.Stderr, "benchgate: %s at %.1f ns/op exceeds ceiling %.0f\n", name, l.nsOp, ceil)
+			ok = false
+		default:
+			fmt.Printf("benchgate: %s %.1f ns/op within ceiling %.0f\n", name, l.nsOp, ceil)
+		}
+	}
+	return ok
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort; the maps are tiny
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
 }

@@ -71,7 +71,13 @@ func main() {
 
 	experiments.SetParallelism(*parallel)
 	start := time.Now()
+	failed := false
 	experiments.RunAll(todo, *seed, func(r experiments.RunResult) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", r.Err)
+			failed = true
+			return
+		}
 		fmt.Printf("### %s — %s\n\n", r.Experiment.ID, r.Experiment.Title)
 		for _, tb := range r.Tables {
 			if *format == "csv" {
@@ -85,6 +91,9 @@ func main() {
 	})
 	fmt.Fprintf(os.Stderr, "(total: %d experiments in %v, parallel=%d)\n",
 		len(todo), time.Since(start).Round(time.Millisecond), experiments.Parallelism())
+	if failed {
+		os.Exit(1)
+	}
 
 	if *events != "" {
 		f, err := os.Create(*events)

@@ -75,7 +75,11 @@ func main() {
 		Warmup:         *warmup,
 		Duration:       *duration,
 	}
-	res := engine.Run(cfg)
+	res, err := engine.RunE(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("scheme=%s budget=%.0f%% workers=%d regions=%v sim=%v\n\n",
 		*scheme, *budget*100, *workers, spec.RegionNames(), *warmup+*duration)

@@ -1,12 +1,14 @@
 // Package engine assembles complete experiment runs: it builds the
 // simulated testbed (Table 2), deploys the application with the
-// orchestrator, attaches a power-management scheme (Table 3), drives the
-// workload, and collects the latency and power results every figure of the
-// paper is derived from.
+// orchestrator, attaches a power-management scheme (Table 3) through the
+// scheme registry, drives the workload, and collects the latency and power
+// results every figure of the paper is derived from.
 package engine
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"servicefridge/internal/app"
@@ -22,7 +24,9 @@ import (
 	"servicefridge/internal/workload"
 )
 
-// SchemeName selects a power-management policy (Table 3).
+// SchemeName selects a power-management policy (Table 3). Any name
+// registered with schemes.Register is valid; the constants below cover the
+// paper's five policies.
 type SchemeName string
 
 // The evaluated schemes of Table 3.
@@ -34,9 +38,15 @@ const (
 	ServiceFridge SchemeName = "ServiceFridge"
 )
 
-// AllSchemes lists the four capped schemes compared in Figures 15-16.
+// AllSchemes lists the capped schemes compared in Figures 15-16, derived
+// from the scheme registry in its CompareRank (paper presentation) order.
 func AllSchemes() []SchemeName {
-	return []SchemeName{PFirst, TFirst, ServiceFridge, Capping}
+	names := schemes.Compared()
+	out := make([]SchemeName, len(names))
+	for i, n := range names {
+		out[i] = SchemeName(n)
+	}
+	return out
 }
 
 // Config describes one experiment run.
@@ -137,9 +147,92 @@ func (c *Config) fill() {
 	}
 }
 
+// Validate reports the first problem that would make the configuration
+// unbuildable: an unregistered scheme, malformed durations or fractions,
+// or references to services and regions the application spec does not
+// define. Zero values are valid (defaults are considered), so
+// Config{}.Validate() == nil. Node-name references (PinTo targets,
+// FixedFreqs keys) are checked against the constructed testbed in BuildE,
+// which runs Validate first.
+func (c Config) Validate() error {
+	c.fill()
+	if _, ok := schemes.Lookup(string(c.Scheme)); !ok {
+		return fmt.Errorf("engine: unknown scheme %q (known: %s)",
+			c.Scheme, strings.Join(schemes.Names(), ", "))
+	}
+	if c.BudgetFraction <= 0 {
+		return fmt.Errorf("engine: BudgetFraction %v must be positive", c.BudgetFraction)
+	}
+	if c.MaxRequired < 0 {
+		return fmt.Errorf("engine: MaxRequired %v must not be negative", c.MaxRequired)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("engine: Workers %d must not be negative", c.Workers)
+	}
+	if c.ExtraWorkers < 0 {
+		return fmt.Errorf("engine: ExtraWorkers %d must not be negative", c.ExtraWorkers)
+	}
+	if c.Warmup < 0 || c.Duration < 0 {
+		return fmt.Errorf("engine: Warmup %v and Duration %v must not be negative", c.Warmup, c.Duration)
+	}
+	if c.ControlInterval <= 0 || c.MeterInterval <= 0 {
+		return fmt.Errorf("engine: ControlInterval %v and MeterInterval %v must be positive",
+			c.ControlInterval, c.MeterInterval)
+	}
+	if c.StartupDelay < 0 {
+		return fmt.Errorf("engine: StartupDelay %v must not be negative", c.StartupDelay)
+	}
+	for _, svc := range sortedKeys(c.PinTo) {
+		if c.Spec.Service(svc) == nil {
+			return fmt.Errorf("engine: PinTo names unknown service %q", svc)
+		}
+		if c.PinTo[svc] == "" {
+			return fmt.Errorf("engine: PinTo[%q] names an empty node", svc)
+		}
+	}
+	for _, region := range sortedKeys(c.PoolWorkers) {
+		if c.Spec.Region(region) == nil {
+			return fmt.Errorf("engine: PoolWorkers names unknown region %q", region)
+		}
+		if c.PoolWorkers[region] < 0 {
+			return fmt.Errorf("engine: PoolWorkers[%q] = %d must not be negative", region, c.PoolWorkers[region])
+		}
+	}
+	for _, region := range sortedKeys(c.OpenLoopRate) {
+		if c.Spec.Region(region) == nil {
+			return fmt.Errorf("engine: OpenLoopRate names unknown region %q", region)
+		}
+		if c.OpenLoopRate[region] < 0 {
+			return fmt.Errorf("engine: OpenLoopRate[%q] = %v must not be negative", region, c.OpenLoopRate[region])
+		}
+	}
+	for _, svc := range c.TrackFreqOf {
+		if c.Spec.Service(svc) == nil {
+			return fmt.Errorf("engine: TrackFreqOf names unknown service %q", svc)
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns m's keys in sorted order, so validation reports the
+// same first error regardless of map iteration order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // FreqPoint is one sample of a service's host frequency.
 type FreqPoint struct {
-	At   sim.Time
+	At sim.Time
+	// Host names the node the sample was read from — the service's
+	// current primary host. Series stay attributable across migrations:
+	// a frequency step caused by the service moving to a different node
+	// is distinguishable from a DVFS action on the same node.
+	Host string
 	Freq cluster.GHz
 }
 
@@ -155,28 +248,67 @@ type Result struct {
 	Gen       *workload.ClosedLoop
 	Pools     map[string]*workload.ClosedLoop
 	OpenLoops map[string]*workload.OpenLoop
-	Fridge    *fridge.Fridge // nil unless Scheme == ServiceFridge
+	Fridge    *fridge.Fridge // nil unless the scheme is ServiceFridge
 	Budget    power.Budget
 	// WarmupEnd is the cut before which latencies are discarded.
 	WarmupEnd sim.Time
 	// FreqSeries holds tracked per-service frequency traces.
 	FreqSeries map[string][]FreqPoint
+
+	// respCache and sumCache memoize Responses/Summary per region:
+	// experiments query the same region repeatedly (mean, tails, counts)
+	// and the collector's store is final once the run ends.
+	respCache map[string]*metrics.LatencyStats
+	sumCache  map[string]metrics.Summary
 }
 
-// Responses returns post-warmup response times for region ("" = all).
+// Responses returns post-warmup response times for region ("" = all). The
+// result is memoized; call ResetStats before re-querying if the simulation
+// is advanced further after a query.
 func (r *Result) Responses(region string) *metrics.LatencyStats {
-	return metrics.FromSamples(r.Collector.ResponseAfter(region, r.WarmupEnd))
+	if s, ok := r.respCache[region]; ok {
+		return s
+	}
+	s := metrics.FromSamples(r.Collector.ResponseAfter(region, r.WarmupEnd))
+	if r.respCache == nil {
+		r.respCache = make(map[string]*metrics.LatencyStats)
+	}
+	r.respCache[region] = s
+	return s
 }
 
-// Summary returns the post-warmup latency summary for region.
+// Summary returns the post-warmup latency summary for region, memoized
+// like Responses.
 func (r *Result) Summary(region string) metrics.Summary {
-	return r.Responses(region).Summarize()
+	if s, ok := r.sumCache[region]; ok {
+		return s
+	}
+	s := r.Responses(region).Summarize()
+	if r.sumCache == nil {
+		r.sumCache = make(map[string]metrics.Summary)
+	}
+	r.sumCache[region] = s
+	return s
 }
 
-// Build constructs a run without executing it, so callers can attach extra
-// instrumentation before Start.
-func Build(cfg Config) *Result {
+// ResetStats drops the memoized latency statistics. Callers that query
+// results mid-run and then resume the simulation must call it before
+// querying again; runs driven by Run/RunE never need it.
+func (r *Result) ResetStats() {
+	r.respCache = nil
+	r.sumCache = nil
+}
+
+// BuildE constructs a run without executing it, so callers can attach
+// extra instrumentation before starting the clock. It returns an error —
+// rather than panicking like Build — for invalid configurations: unknown
+// schemes, bad budget fractions, and PinTo/FixedFreqs entries naming
+// nodes that do not exist in the constructed testbed.
+func BuildE(cfg Config) (*Result, error) {
 	cfg.fill()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	eng := sim.NewEngine(cfg.Seed)
 	cl := cluster.DefaultTestbed(eng)
 	for i := 0; i < cfg.ExtraWorkers; i++ {
@@ -194,6 +326,10 @@ func Build(cfg Config) *Result {
 	pinnedNodes := map[string]bool{}
 	for _, svc := range cfg.Spec.PlacedServices() {
 		if node, ok := cfg.PinTo[svc]; ok {
+			if cl.Server(node) == nil {
+				return nil, fmt.Errorf("engine: PinTo[%q] names unknown node %q (nodes: %s)",
+					svc, node, strings.Join(nodeNames(cl), ", "))
+			}
 			orch.DeployPinned(svc, node)
 			pinned[svc] = true
 			pinnedNodes[node] = true
@@ -215,6 +351,7 @@ func Build(cfg Config) *Result {
 
 	col := trace.NewCollector()
 	col.KeepSpans = cfg.KeepSpans
+	col.Presize(cfg.Spec.ServiceNames(), 0)
 	exec := app.NewExecutor(eng, cfg.Spec, orch, col, eng.RNG().Stream("exec"))
 
 	model := power.DefaultModel()
@@ -235,27 +372,20 @@ func Build(cfg Config) *Result {
 		FreqSeries: make(map[string][]FreqPoint),
 	}
 
-	var scheme schemes.Scheme
-	var launcher workload.Launcher = exec
-	switch cfg.Scheme {
-	case Baseline:
-		scheme = schemes.NewBaseline(ctx)
-	case Capping:
-		scheme = schemes.NewCapping(ctx)
-	case PFirst:
-		scheme = schemes.NewPFirst(ctx)
-	case TFirst:
-		scheme = schemes.NewTFirst(ctx, cfg.Spec)
-	case ServiceFridge:
-		f := fridge.New(ctx, cfg.Spec)
+	// Scheme construction goes through the registry: extensions register
+	// policies without this package enumerating them.
+	reg, _ := schemes.Lookup(string(cfg.Scheme)) // Validate checked existence
+	built := reg.New(schemes.BuildInput{Ctx: ctx, Spec: cfg.Spec})
+	scheme := built.Scheme
+	if f, ok := scheme.(*fridge.Fridge); ok {
 		if cfg.Tune != nil {
 			cfg.Tune(f)
 		}
 		res.Fridge = f
-		scheme = f
-		launcher = f.WrapLauncher(exec)
-	default:
-		panic(fmt.Sprintf("engine: unknown scheme %q", cfg.Scheme))
+	}
+	var launcher workload.Launcher = exec
+	if built.WrapLauncher != nil {
+		launcher = built.WrapLauncher(exec)
 	}
 
 	res.Gen = workload.NewClosedLoop(eng, launcher, eng.RNG().Stream("workload"), cfg.Mix, cfg.Think)
@@ -279,12 +409,13 @@ func Build(cfg Config) *Result {
 	for node, f := range cfg.FixedFreqs {
 		s := cl.Server(node)
 		if s == nil {
-			panic(fmt.Sprintf("engine: FixedFreqs names unknown node %q", node))
+			return nil, fmt.Errorf("engine: FixedFreqs names unknown node %q (nodes: %s)",
+				node, strings.Join(nodeNames(cl), ", "))
 		}
 		s.SetFreq(f)
 	}
 	meter.Start()
-	if cfg.Scheme != Baseline || len(cfg.FixedFreqs) == 0 {
+	if !reg.SkipTickWithFixedFreqs || len(cfg.FixedFreqs) == 0 {
 		// Baseline with fixed frequencies must not reset them each tick.
 		eng.Every(cfg.ControlInterval, scheme.Tick)
 	}
@@ -296,7 +427,7 @@ func Build(cfg Config) *Result {
 					continue
 				}
 				res.FreqSeries[svc] = append(res.FreqSeries[svc], FreqPoint{
-					At: eng.Now(), Freq: nodes[0].Freq(),
+					At: eng.Now(), Host: nodes[0].Name(), Freq: nodes[0].Freq(),
 				})
 			}
 		})
@@ -317,13 +448,32 @@ func Build(cfg Config) *Result {
 	if len(cfg.Phases) > 0 {
 		res.Gen.Schedule(cfg.Phases)
 	}
+	return res, nil
+}
+
+// nodeNames lists the testbed's node names for error messages.
+func nodeNames(cl *cluster.Cluster) []string {
+	var out []string
+	for _, s := range cl.Servers() {
+		out = append(out, s.Name())
+	}
+	return out
+}
+
+// Build constructs a run without executing it, panicking on an invalid
+// configuration. Programmatic callers with untrusted configs (CLIs,
+// services) should prefer BuildE.
+func Build(cfg Config) *Result {
+	res, err := BuildE(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return res
 }
 
-// Run builds and executes the experiment to completion.
-func Run(cfg Config) *Result {
-	res := Build(cfg)
-	cfg = res.Config
+// finish executes a built run to completion and stops the generators.
+func finish(res *Result) {
+	cfg := res.Config
 	total := cfg.Warmup + cfg.Duration
 	if ph := phaseLength(cfg.Phases); ph > total {
 		total = ph
@@ -335,6 +485,26 @@ func Run(cfg Config) *Result {
 	}
 	for _, ol := range res.OpenLoops {
 		ol.SetRate(0)
+	}
+}
+
+// RunE builds and executes the experiment to completion, returning an
+// error instead of panicking on an invalid configuration.
+func RunE(cfg Config) (*Result, error) {
+	res, err := BuildE(cfg)
+	if err != nil {
+		return nil, err
+	}
+	finish(res)
+	return res, nil
+}
+
+// Run builds and executes the experiment to completion, panicking on an
+// invalid configuration.
+func Run(cfg Config) *Result {
+	res, err := RunE(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

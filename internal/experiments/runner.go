@@ -10,6 +10,7 @@ package experiments
 // to the sequential path for the same seed regardless of scheduling.
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -77,6 +78,20 @@ type RunResult struct {
 	// Elapsed is the wall-clock time of this experiment's Run call (runs
 	// overlap under parallelism, so elapsed times do not sum to the total).
 	Elapsed time.Duration
+	// Err is non-nil when the experiment failed (a panicking run is
+	// captured here rather than crashing the worker pool), so CLIs can
+	// report it and exit non-zero instead of dying with a stack trace.
+	Err error
+}
+
+// runOne executes one experiment, converting a panic into an error.
+func runOne(e Experiment, seed uint64) (tables []*metrics.Table, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiment %s panicked: %v", e.ID, p)
+		}
+	}()
+	return e.Run(seed), nil
 }
 
 // RunAll regenerates exps across a worker pool and calls emit exactly once
@@ -104,8 +119,8 @@ func RunAll(exps []Experiment, seed uint64, emit func(RunResult)) {
 					return
 				}
 				start := time.Now()
-				tables := exps[i].Run(seed)
-				done[i] <- RunResult{Experiment: exps[i], Tables: tables, Elapsed: time.Since(start)}
+				tables, err := runOne(exps[i], seed)
+				done[i] <- RunResult{Experiment: exps[i], Tables: tables, Elapsed: time.Since(start), Err: err}
 			}
 		}()
 	}

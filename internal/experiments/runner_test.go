@@ -75,6 +75,48 @@ func TestRunAllEmitsInOrder(t *testing.T) {
 	}
 }
 
+// TestRunAllCapturesPanicsAsErrors: a panicking experiment must surface as
+// RunResult.Err — in input order, without killing the worker pool or the
+// experiments queued behind it.
+func TestRunAllCapturesPanicsAsErrors(t *testing.T) {
+	withParallelism(t, 2)
+	exps := []Experiment{
+		{"ok1", "fine", func(uint64) []*metrics.Table { return Table2(1) }},
+		{"boom", "explodes", func(uint64) []*metrics.Table { panic("kaboom") }},
+		{"ok2", "also fine", func(uint64) []*metrics.Table { return Table2(1) }},
+	}
+	var ids []string
+	var errs []error
+	RunAll(exps, 1, func(r RunResult) {
+		ids = append(ids, r.Experiment.ID)
+		errs = append(errs, r.Err)
+	})
+	if want := []string{"ok1", "boom", "ok2"}; !slicesEqual(ids, want) {
+		t.Fatalf("emit order %v, want %v", ids, want)
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy experiments carried errors: %v, %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("panicking experiment produced no error")
+	}
+	if msg := errs[1].Error(); !strings.Contains(msg, "boom") || !strings.Contains(msg, "kaboom") {
+		t.Fatalf("error %q should name the experiment and the panic value", msg)
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestCalibratedSingleflight hammers the memoized calibration from many
 // goroutines: every caller must observe the same value (run under -race
 // this also proves the cache is synchronized).

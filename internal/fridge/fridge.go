@@ -131,6 +131,22 @@ func New(ctx *schemes.Context, spec *app.Spec) *Fridge {
 	return f
 }
 
+// ServiceFridge constructs through the scheme registry like every other
+// policy; its registration also interposes the fridge on the request path
+// so the indegree counters see live traffic (Figure 9's scheduling-engine
+// insertion). CompareRank 3 slots it between T-first and Capping in the
+// Figures 15-16 comparison order.
+func init() {
+	schemes.Register(schemes.Registration{
+		Name: "ServiceFridge",
+		New: func(in schemes.BuildInput) schemes.Built {
+			f := New(in.Ctx, in.Spec)
+			return schemes.Built{Scheme: f, WrapLauncher: f.WrapLauncher}
+		},
+		CompareRank: 3,
+	})
+}
+
 // Name implements schemes.Scheme (Table 3 calls it "ServiceFridge").
 func (f *Fridge) Name() string { return "ServiceFridge" }
 

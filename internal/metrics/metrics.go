@@ -27,11 +27,11 @@ type LatencyStats struct {
 // NewLatencyStats returns an empty accumulator.
 func NewLatencyStats() *LatencyStats { return &LatencyStats{} }
 
-// FromSamples wraps an existing slice (copied).
+// FromSamples wraps an existing slice (copied, in one allocation).
 func FromSamples(ds []time.Duration) *LatencyStats {
-	s := NewLatencyStats()
+	s := &LatencyStats{samples: append(make([]time.Duration, 0, len(ds)), ds...)}
 	for _, d := range ds {
-		s.Add(d)
+		s.sum += d
 	}
 	return s
 }

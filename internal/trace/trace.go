@@ -76,31 +76,154 @@ func (t *Trace) ServiceExec(service string) time.Duration {
 	return sum
 }
 
+// series is a finish-ordered store of completed-trace response times.
+// Traces complete in simulation-time order, so finish is (normally)
+// already sorted and warm-up queries reduce to one binary search; unsorted
+// tracks the invariant so an out-of-order caller degrades to a scan
+// instead of silently misfiltering. The zero series is empty and sorted.
+type series struct {
+	finish   []sim.Time
+	resp     []time.Duration
+	unsorted bool
+}
+
+func (s *series) add(finish sim.Time, resp time.Duration) {
+	if n := len(s.finish); n > 0 && finish < s.finish[n-1] {
+		s.unsorted = true
+	}
+	s.finish = append(s.finish, finish)
+	s.resp = append(s.resp, resp)
+}
+
+// after returns the responses of entries finishing at or after cut. On the
+// sorted fast path the result is a read-only view into the store.
+func (s *series) after(cut sim.Time) []time.Duration {
+	if s == nil {
+		return nil
+	}
+	if !s.unsorted {
+		i := sort.Search(len(s.finish), func(i int) bool { return s.finish[i] >= cut })
+		return s.resp[i:]
+	}
+	var out []time.Duration
+	for i, f := range s.finish {
+		if f >= cut {
+			out = append(out, s.resp[i])
+		}
+	}
+	return out
+}
+
+// traceSlabSize is how many Trace structs one slab allocation covers.
+const traceSlabSize = 256
+
 // Collector gathers completed traces, like the Zipkin UI on the manager
-// node. It also maintains running per-service tallies so that analyses do
-// not have to re-walk every span list.
+// node. It also maintains running per-service tallies and finish-ordered
+// response stores so that analyses do not re-walk (or re-allocate from)
+// every span list per query.
 type Collector struct {
 	nextID uint64
 	open   int
 	traces []*Trace
 	// KeepSpans controls whether span lists are retained on completed
 	// traces. Long experiments that only need response times can disable
-	// it to bound memory.
+	// it to bound memory; the collector then recycles span backing arrays
+	// across traces, making steady-state span recording allocation-free.
 	KeepSpans bool
 
 	execByService map[string][]time.Duration
+
+	all      series
+	byRegion map[string]*series
+
+	// slab batches Trace allocations; spanPool recycles span backing
+	// arrays of finished traces when KeepSpans is off.
+	slab     []Trace
+	spanPool [][]Span
 }
 
 // NewCollector returns an empty collector that retains spans.
 func NewCollector() *Collector {
-	return &Collector{KeepSpans: true, execByService: make(map[string][]time.Duration)}
+	return &Collector{
+		KeepSpans:     true,
+		execByService: make(map[string][]time.Duration),
+		byRegion:      make(map[string]*series),
+	}
+}
+
+// Presize primes the per-service execution tallies for the given services
+// (reserving spansPerService capacity each, if positive) so the map never
+// rehashes and early appends never reallocate on the hot path. Services
+// that never record a span stay invisible to Services()/MeanExec.
+func (c *Collector) Presize(services []string, spansPerService int) {
+	if c.execByService == nil {
+		c.execByService = make(map[string][]time.Duration, len(services))
+	}
+	for _, s := range services {
+		if _, ok := c.execByService[s]; !ok {
+			if spansPerService > 0 {
+				c.execByService[s] = make([]time.Duration, 0, spansPerService)
+			} else {
+				c.execByService[s] = nil
+			}
+		}
+	}
+}
+
+// Grow pre-allocates storage for about nTraces completed traces, so a run
+// with a known request population never grows the finish-ordered stores.
+func (c *Collector) Grow(nTraces int) {
+	grow := func(s *series) {
+		if cap(s.finish)-len(s.finish) < nTraces {
+			f := make([]sim.Time, len(s.finish), len(s.finish)+nTraces)
+			copy(f, s.finish)
+			s.finish = f
+			r := make([]time.Duration, len(s.resp), len(s.resp)+nTraces)
+			copy(r, s.resp)
+			s.resp = r
+		}
+	}
+	grow(&c.all)
+	for _, rs := range c.byRegion {
+		grow(rs)
+	}
+	if cap(c.traces)-len(c.traces) < nTraces {
+		ts := make([]*Trace, len(c.traces), len(c.traces)+nTraces)
+		copy(ts, c.traces)
+		c.traces = ts
+	}
+	if len(c.slab) < nTraces {
+		c.slab = make([]Trace, nTraces)
+	}
+}
+
+// allocTrace hands out one zeroed Trace from the current slab, cutting
+// per-request allocations to one slab per traceSlabSize requests.
+func (c *Collector) allocTrace() *Trace {
+	if len(c.slab) == 0 {
+		c.slab = make([]Trace, traceSlabSize)
+	}
+	t := &c.slab[0]
+	c.slab = c.slab[1:]
+	return t
 }
 
 // StartTrace opens a trace for a request entering region at time at.
 func (c *Collector) StartTrace(region string, at sim.Time) *Trace {
 	c.nextID++
 	c.open++
-	return &Trace{ID: c.nextID, Region: region, Begin: at}
+	t := c.allocTrace()
+	t.ID = c.nextID
+	t.Region = region
+	t.Begin = at
+	if !c.KeepSpans {
+		if n := len(c.spanPool); n > 0 {
+			t.Spans = c.spanPool[n-1]
+			c.spanPool[n-1] = nil
+			c.spanPool = c.spanPool[:n-1]
+		}
+	}
+	return t
 }
 
 // AddSpan appends a completed span to an open trace and feeds the
@@ -122,9 +245,20 @@ func (c *Collector) FinishTrace(t *Trace, at sim.Time) {
 	t.done = true
 	c.open--
 	if !c.KeepSpans {
+		if cap(t.Spans) > 0 {
+			c.spanPool = append(c.spanPool, t.Spans[:0])
+		}
 		t.Spans = nil
 	}
 	c.traces = append(c.traces, t)
+	resp := t.Response()
+	c.all.add(at, resp)
+	rs := c.byRegion[t.Region]
+	if rs == nil {
+		rs = &series{}
+		c.byRegion[t.Region] = rs
+	}
+	rs.add(at, resp)
 }
 
 // Traces returns all completed traces in completion order.
@@ -139,40 +273,39 @@ func (c *Collector) Count(region string) int {
 	if region == "" {
 		return len(c.traces)
 	}
-	n := 0
-	for _, t := range c.traces {
-		if t.Region == region {
-			n++
-		}
+	if rs := c.byRegion[region]; rs != nil {
+		return len(rs.resp)
 	}
-	return n
+	return 0
 }
 
 // ResponseTimes returns the response times of completed traces for region
-// ("" matches all), in completion order.
+// ("" matches all), in completion order. The slice is the caller's to keep.
 func (c *Collector) ResponseTimes(region string) []time.Duration {
-	var out []time.Duration
-	for _, t := range c.traces {
-		if region == "" || t.Region == region {
-			out = append(out, t.Response())
+	src := c.all.resp
+	if region != "" {
+		rs := c.byRegion[region]
+		if rs == nil {
+			return nil
 		}
+		src = rs.resp
 	}
-	return out
+	if len(src) == 0 {
+		return nil
+	}
+	return append([]time.Duration(nil), src...)
 }
 
 // ResponseAfter returns response times of traces that finished at or after
-// cut, for region ("" matches all) — used to discard warm-up.
+// cut, for region ("" matches all) — used to discard warm-up. Traces finish
+// in simulation-time order, so this is one binary search over the
+// finish-ordered store; the result is a read-only view into that store and
+// must not be modified by the caller.
 func (c *Collector) ResponseAfter(region string, cut sim.Time) []time.Duration {
-	var out []time.Duration
-	for _, t := range c.traces {
-		if t.Finish < cut {
-			continue
-		}
-		if region == "" || t.Region == region {
-			out = append(out, t.Response())
-		}
+	if region == "" {
+		return c.all.after(cut)
 	}
-	return out
+	return c.byRegion[region].after(cut)
 }
 
 // ServiceExecTimes returns every recorded execution time for service,
@@ -184,8 +317,10 @@ func (c *Collector) ServiceExecTimes(service string) []time.Duration {
 // Services returns the names of all services with recorded spans, sorted.
 func (c *Collector) Services() []string {
 	out := make([]string, 0, len(c.execByService))
-	for s := range c.execByService {
-		out = append(out, s)
+	for s, xs := range c.execByService {
+		if len(xs) > 0 {
+			out = append(out, s)
+		}
 	}
 	sort.Strings(out)
 	return out
