@@ -66,6 +66,7 @@ func BenchmarkHeadline(b *testing.B) { benchExperiment(b, "headline") }
 func BenchmarkExtScaleOut(b *testing.B) { benchExperiment(b, "ext-scale") }
 func BenchmarkExtOpenLoop(b *testing.B) { benchExperiment(b, "ext-openloop") }
 func BenchmarkExtEvents(b *testing.B)   { benchExperiment(b, "ext-events") }
+func BenchmarkExtCritPath(b *testing.B) { benchExperiment(b, "ext-critpath") }
 
 // ---------------------------------------------------------------------
 // Parallel experiment executor: sequential vs parallel regeneration of
@@ -339,6 +340,47 @@ func BenchmarkCollectorResponseAfter(b *testing.B) {
 	}
 	if len(out) == 0 {
 		b.Fatal("query returned nothing")
+	}
+}
+
+// BenchmarkCritPath measures folding one real request trace into the blame
+// accumulator: parent inference, critical-path walk, and per-service
+// decomposition. Steady state is allocation-free (gated via
+// bench_gates.json).
+func BenchmarkCritPath(b *testing.B) {
+	res := engine.Run(engine.Config{
+		Seed:        1,
+		PoolWorkers: map[string]int{"A": 10, "B": 10},
+		Warmup:      time.Second,
+		Duration:    3 * time.Second,
+		KeepSpans:   true,
+	})
+	traces := res.Collector.Traces()
+	if len(traces) == 0 {
+		b.Fatal("fixture run produced no traces")
+	}
+	acc := trace.NewBlameAccumulator(engine.SlowdownFromSpec(res.Config.Spec))
+	for _, tr := range traces {
+		acc.Observe(tr) // warm scratch and per-service entries
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Observe(traces[i%len(traces)])
+	}
+}
+
+// BenchmarkStreamingHistogram measures one bounded-memory histogram insert
+// (gated allocation-free via bench_gates.json).
+func BenchmarkStreamingHistogram(b *testing.B) {
+	var h metrics.StreamingHistogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != uint64(b.N) {
+		b.Fatalf("count = %d, want %d", h.Count(), b.N)
 	}
 }
 

@@ -9,6 +9,8 @@
 //	experiments -seed 7 -run fig6
 //	experiments -run all -parallel 8
 //	experiments -run all -events events.jsonl
+//	experiments -run ext-critpath -traces traces.json -trace-sample 0.05
+//	experiments -run fig15 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Independent simulation runs fan out across -parallel workers, both
 // across experiments and across within-figure cells; tables print in
@@ -16,8 +18,11 @@
 // for the same seed. Timing lines go to stderr so stdout stays
 // deterministic. -events additionally executes the canonical
 // instrumented run (see internal/experiments.ExportEventsJSONL) and
-// writes its controller event stream as JSONL, also byte-identical
-// across -parallel widths.
+// writes its controller event stream as JSONL; -traces executes the
+// canonical study run and writes its request traces as Zipkin v2 JSON,
+// deterministically sampled at -trace-sample. Both exports are
+// byte-identical across -parallel widths. -cpuprofile/-memprofile write
+// pprof profiles of the regeneration itself.
 package main
 
 import (
@@ -25,15 +30,18 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"servicefridge/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		run      = flag.String("run", "all", "experiment ID to regenerate (or \"all\")")
+		runIDs   = flag.String("run", "all", "experiment ID to regenerate (or \"all\")")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		format   = flag.String("format", "table", "output format: table or csv")
@@ -41,18 +49,24 @@ func main() {
 			"max concurrent simulation runs (1 = sequential)")
 		events = flag.String("events", "",
 			"write the canonical instrumented run's controller event stream as JSONL to this file")
+		traces = flag.String("traces", "",
+			"write the canonical study run's request traces as Zipkin v2 JSON to this file")
+		traceSample = flag.Float64("trace-sample", 0.05,
+			"fraction of requests exported by -traces (deterministic stride, not RNG)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the regeneration to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile (post-regeneration) to this file")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var todo []experiments.Experiment
-	for _, id := range strings.Split(*run, ",") {
+	for _, id := range strings.Split(*runIDs, ",") {
 		switch id = strings.TrimSpace(id); id {
 		case "all":
 			todo = append(todo, experiments.All()...)
@@ -63,10 +77,26 @@ func main() {
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: all, ext, %s\n",
 					id, strings.Join(experiments.IDs(), ", "))
-				os.Exit(2)
+				return 2
 			}
 			todo = append(todo, e)
 		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	experiments.SetParallelism(*parallel)
@@ -92,23 +122,60 @@ func main() {
 	fmt.Fprintf(os.Stderr, "(total: %d experiments in %v, parallel=%d)\n",
 		len(todo), time.Since(start).Round(time.Millisecond), experiments.Parallelism())
 	if failed {
-		os.Exit(1)
+		return 1
 	}
 
 	if *events != "" {
-		f, err := os.Create(*events)
-		if err != nil {
+		if err := writeFile(*events, func(f *os.File) error {
+			return experiments.ExportEventsJSONL(*seed, f)
+		}); err != nil {
 			fmt.Fprintf(os.Stderr, "events: %v\n", err)
-			os.Exit(1)
-		}
-		if err := experiments.ExportEventsJSONL(*seed, f); err != nil {
-			fmt.Fprintf(os.Stderr, "events: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "events: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "(event stream written to %s)\n", *events)
 	}
+
+	if *traces != "" {
+		if err := writeFile(*traces, func(f *os.File) error {
+			return experiments.ExportTracesJSON(*seed, sampleStride(*traceSample), f)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "traces: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "(trace export written to %s)\n", *traces)
+	}
+
+	if *memprofile != "" {
+		if err := writeFile(*memprofile, func(f *os.File) error {
+			runtime.GC()
+			return pprof.WriteHeapProfile(f)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// sampleStride converts a sampling fraction into the exporter's
+// deterministic keep-every-k stride.
+func sampleStride(rate float64) int {
+	if rate <= 0 || rate >= 1 {
+		return 1
+	}
+	return int(1/rate + 0.5)
+}
+
+// writeFile creates path, hands it to write, and closes it, reporting the
+// first error.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -9,7 +9,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"servicefridge/internal/app"
@@ -17,12 +19,15 @@ import (
 	"servicefridge/internal/engine"
 	"servicefridge/internal/fridge"
 	"servicefridge/internal/metrics"
+	"servicefridge/internal/obs"
+	"servicefridge/internal/schemes"
+	"servicefridge/internal/trace"
 	"servicefridge/internal/workload"
 )
 
 func main() {
 	var (
-		scheme   = flag.String("scheme", "Baseline", "power scheme: Baseline, Capping, P-first, T-first, ServiceFridge")
+		scheme   = flag.String("scheme", "Baseline", "power scheme: "+strings.Join(schemes.Names(), ", "))
 		budget   = flag.Float64("budget", 1.0, "power budget fraction of maximum (0.75..1.0)")
 		workers  = flag.Int("workers", 50, "closed-loop worker count")
 		mixA     = flag.Float64("mixA", 1, "weight of region A (Advanced Search) requests")
@@ -32,6 +37,11 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		appFlag  = flag.String("app", "study", "application: study (8 services, 2 regions) or full (42 services, 6 regions)")
 		specPath = flag.String("spec", "", "JSON application profile (overrides -app)")
+		events   = flag.String("events", "", "write the run's controller event stream as JSONL to this file")
+		traces   = flag.String("traces", "",
+			"write the run's request traces as Zipkin v2 JSON to this file (forces span retention)")
+		traceSample = flag.Float64("trace-sample", 1,
+			"fraction of requests exported by -traces (deterministic stride, not RNG)")
 	)
 	flag.Parse()
 
@@ -74,11 +84,34 @@ func main() {
 		Mix:            mix,
 		Warmup:         *warmup,
 		Duration:       *duration,
+		KeepSpans:      *traces != "",
+	}
+	if *events != "" {
+		cfg.Events = obs.NewRecorder(0)
 	}
 	res, err := engine.RunE(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *events != "" {
+		if err := exportFile(*events, cfg.Events.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "events: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *traces != "" {
+		every := 1
+		if *traceSample > 0 && *traceSample < 1 {
+			every = int(1/(*traceSample) + 0.5)
+		}
+		err := exportFile(*traces, func(w io.Writer) error {
+			return trace.WriteZipkin(w, res.Collector.Traces(), trace.ZipkinOptions{SampleEvery: every})
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traces: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("scheme=%s budget=%.0f%% workers=%d regions=%v sim=%v\n\n",
@@ -126,4 +159,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "warning: no requests completed")
 		os.Exit(1)
 	}
+}
+
+// exportFile creates path, hands it to write, and closes it, reporting the
+// first error.
+func exportFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -158,11 +158,15 @@ func (x *Executor) invoke(tr *trace.Trace, service string, meanExec time.Duratio
 		}
 		submitted := x.eng.Now()
 		var started sim.Time
+		var startGHz float64
 		host.Submit(&cluster.Job{
 			Tag:      service,
 			Demand:   demand,
 			Slowdown: ms.Slowdown(),
-			OnStart:  func() { started = x.eng.Now() },
+			OnStart: func() {
+				started = x.eng.Now()
+				startGHz = float64(host.Freq())
+			},
 			OnDone: func() {
 				x.col.AddSpan(tr, trace.Span{
 					Service: service,
@@ -170,6 +174,7 @@ func (x *Executor) invoke(tr *trace.Trace, service string, meanExec time.Duratio
 					Submit:  submitted,
 					Start:   started,
 					End:     x.eng.Now(),
+					FreqGHz: startGHz,
 				})
 				onDone()
 			},

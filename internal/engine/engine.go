@@ -509,6 +509,43 @@ func Run(cfg Config) *Result {
 	return res
 }
 
+// SlowdownFromSpec adapts an application spec's per-service slowdown
+// models to the trace layer's blame attribution. The returned function is
+// safe for concurrent use and charges unknown services no inflation.
+func SlowdownFromSpec(spec *app.Spec) trace.SlowdownFunc {
+	names := spec.ServiceNames()
+	fns := make(map[string]cluster.SlowdownFunc, len(names))
+	for _, name := range names {
+		fns[name] = spec.Service(name).Slowdown()
+	}
+	return func(service string, ghz float64) float64 {
+		fn, ok := fns[service]
+		if !ok {
+			return 1
+		}
+		return fn(cluster.GHz(ghz))
+	}
+}
+
+// CritPathBlame runs the critical-path analysis over every post-warmup
+// trace of a completed run, splitting frequency inflation out of
+// execution time via the spec's slowdown models and the host frequency
+// recorded on each span. Requires Config.KeepSpans: without spans every
+// request's response time degrades to unattributed dispatch time. The
+// inflation split reads the frequency at span start; under DVFS a span
+// overlapping a frequency step is attributed at its start frequency
+// (exact under FixedFreqs, an approximation otherwise).
+func (r *Result) CritPathBlame() *trace.BlameAccumulator {
+	acc := trace.NewBlameAccumulator(SlowdownFromSpec(r.Config.Spec))
+	for _, t := range r.Collector.Traces() {
+		if t.Finish < r.WarmupEnd {
+			continue
+		}
+		acc.Observe(t)
+	}
+	return acc
+}
+
 // CalibrateMaxRequired measures the maximum required power of a workload:
 // it runs the configuration uncapped (Baseline at 100%) and returns the
 // peak cluster draw, the base the paper's §6 budget percentages refer to.

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestBlameGolden pins the canonical cell's blame profile for the study
+// app at seed 1. Regenerate with UPDATE_GOLDEN=1 go test after an
+// intentional behavior change.
+func TestBlameGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	acc := critPathCell(1, 30, 20, critPathCanonicalFreq).CritPathBlame()
+	var b strings.Builder
+	for _, tb := range blameTables(acc, "golden cell") {
+		b.WriteString(tb.String())
+		b.WriteString("\n")
+	}
+	got := []byte(b.String())
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile("testdata/blame_seed1.golden", got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile("testdata/blame_seed1.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("blame profile drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExtCritPathDeterministicAcrossParallelism renders the full grid
+// sequentially and with 8 workers; the tables must be byte-identical —
+// the in-package mirror of the CI determinism gate.
+func TestExtCritPathDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	render := func(par int) string {
+		prev := Parallelism()
+		SetParallelism(par)
+		defer SetParallelism(prev)
+		var b strings.Builder
+		for _, tb := range ExtCritPath(1) {
+			b.WriteString(tb.String())
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("ext-critpath output differs across parallelism:\n-- sequential --\n%s\n-- parallel --\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "tau") || !strings.Contains(seq, "Critical-path blame, region A") {
+		t.Fatalf("missing tau table or blame profile:\n%s", seq)
+	}
+	checkTables(t, "ext-critpath", ExtCritPath(1))
+}
+
+// TestExportTracesJSONDeterministic exports the canonical run's traces
+// twice and requires identical, JSON-valid Zipkin bytes. The schema shape
+// itself is pinned by the trace package's unit tests; here we check the
+// canonical export end to end.
+func TestExportTracesJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	var a, b bytes.Buffer
+	if err := ExportTracesJSON(1, 50, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportTracesJSON(1, 50, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("trace export differs across identical runs")
+	}
+	var spans []map[string]any
+	if err := json.Unmarshal(a.Bytes(), &spans); err != nil {
+		t.Fatalf("export is not a JSON span array: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("export holds no spans")
+	}
+	for _, key := range []string{"traceId", "id", "name", "timestamp", "duration", "localEndpoint"} {
+		if _, ok := spans[0][key]; !ok {
+			t.Fatalf("span missing %q: %v", key, spans[0])
+		}
+	}
+}

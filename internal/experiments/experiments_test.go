@@ -150,18 +150,21 @@ func TestCalibrationMemoized(t *testing.T) {
 
 func TestExtensionsRegistered(t *testing.T) {
 	exts := Extensions()
-	if len(exts) != 3 {
-		t.Fatalf("extensions = %d, want 3", len(exts))
+	if len(exts) != 4 {
+		t.Fatalf("extensions = %d, want 4", len(exts))
 	}
-	for _, id := range []string{"ext-scale", "ext-openloop", "ext-events"} {
+	extIDs := []string{"ext-scale", "ext-openloop", "ext-events", "ext-critpath"}
+	for _, id := range extIDs {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("extension %s not resolvable via ByID", id)
 		}
 	}
 	// Extensions must not leak into the paper registry.
 	for _, id := range IDs() {
-		if id == "ext-scale" || id == "ext-openloop" || id == "ext-events" {
-			t.Fatal("extension leaked into paper registry")
+		for _, ext := range extIDs {
+			if id == ext {
+				t.Fatal("extension leaked into paper registry")
+			}
 		}
 	}
 }

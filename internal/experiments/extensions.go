@@ -19,6 +19,7 @@ var extensions = []Experiment{
 	{"ext-scale", "Extension: scale-out — ServiceFridge vs Capping as the cluster grows", ExtScaleOut},
 	{"ext-openloop", "Extension: open-loop tail latency under an 80% budget", ExtOpenLoop},
 	{"ext-events", "Extension: controller event timeline (Figure-13-style narrative)", ExtEvents},
+	{"ext-critpath", "Extension: critical-path blame attribution vs MCF ranking (Kendall tau)", ExtCritPath},
 }
 
 // Extensions returns the beyond-the-paper experiments.

@@ -1,0 +1,43 @@
+package metrics
+
+import "math"
+
+// KendallTau returns the Kendall τ-b rank correlation between the paired
+// samples x and y: +1 for perfectly concordant rankings, -1 for reversed
+// rankings, 0 for independence, with the τ-b tie correction so vectors
+// with tied values (e.g. services an MCF model collapses into one level)
+// stay in [-1, 1]. Slices must have equal length; fewer than two pairs,
+// or a vector that is entirely ties, yields 0. O(n²), fine for the
+// handful of services the experiments rank.
+func KendallTau(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("metrics: KendallTau on slices of different length")
+	}
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	var concordant, discordant, tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := x[i]-x[j], y[i]-y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// Tied in both: contributes to neither correction term.
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case (dx > 0) == (dy > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	den := math.Sqrt((concordant + discordant + tiesX) * (concordant + discordant + tiesY))
+	if den == 0 {
+		return 0
+	}
+	return (concordant - discordant) / den
+}

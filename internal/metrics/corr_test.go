@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKendallTauPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 20, 30, 40, 50}
+	if got := KendallTau(x, y); got != 1 {
+		t.Fatalf("concordant tau = %v, want 1", got)
+	}
+	rev := []float64{50, 40, 30, 20, 10}
+	if got := KendallTau(x, rev); got != -1 {
+		t.Fatalf("reversed tau = %v, want -1", got)
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	// Hand-computed τ-b: x = (1,1,2,3), y = (1,2,2,3).
+	// Pairs: (1,2) tied in x; (2,3) tied in y; the remaining four pairs
+	// are concordant. τ-b = 4 / sqrt((4+0+1)*(4+0+1)) = 0.8.
+	x := []float64{1, 1, 2, 3}
+	y := []float64{1, 2, 2, 3}
+	if got := KendallTau(x, y); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("tau-b = %v, want 0.8", got)
+	}
+	// A vector that is entirely ties carries no ranking information.
+	flat := []float64{7, 7, 7, 7}
+	if got := KendallTau(x, flat); got != 0 {
+		t.Fatalf("tau against constant = %v, want 0", got)
+	}
+}
+
+func TestKendallTauEdges(t *testing.T) {
+	if got := KendallTau(nil, nil); got != 0 {
+		t.Fatalf("empty tau = %v", got)
+	}
+	if got := KendallTau([]float64{1}, []float64{2}); got != 0 {
+		t.Fatalf("singleton tau = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths must panic")
+		}
+	}()
+	KendallTau([]float64{1, 2}, []float64{1})
+}

@@ -24,6 +24,11 @@ type Span struct {
 	Start sim.Time
 	// End is when it completed.
 	End sim.Time
+	// FreqGHz is the host's operating frequency when the span started
+	// executing (0 if unrecorded). Offline analyses use it to separate
+	// DVFS-induced inflation from load-induced queueing — the critical-path
+	// blame decomposition — without consulting the live cluster.
+	FreqGHz float64
 }
 
 // Exec returns the span's pure execution time (core occupancy).

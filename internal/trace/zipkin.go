@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"io"
+	"strconv"
+	"time"
+
+	"servicefridge/internal/sim"
+)
+
+// Zipkin v2 export: the collector's traces serialized in the span format
+// of the tracing system the paper's pipeline is actually built on
+// (https://zipkin.io/zipkin-api/ — POST /api/v2/spans), so external trace
+// tooling can ingest a simulated run. One JSON array of span objects:
+// 16-hex ids, microsecond timestamps/durations, a localEndpoint naming
+// the service, string tags for the host, its frequency at span start, and
+// the queueing share. Encoding is hand-rolled like the obs JSONL layer:
+// fixed field order, no map iteration, strconv number formatting — the
+// bytes are a pure function of the trace set, which the CI determinism
+// gate diffs across executor widths.
+
+// ZipkinOptions configures the export.
+type ZipkinOptions struct {
+	// SampleEvery keeps every k-th completed trace (1 or less keeps all).
+	// Sampling is a deterministic stride over completion order, not an RNG
+	// draw, so the same run always exports the same requests.
+	SampleEvery int
+}
+
+// zipkinRootID is the span id of the synthetic root span representing the
+// request itself; recorded spans get ids offset past it.
+const zipkinRootID = 1
+
+// WriteZipkin writes the sampled traces as one Zipkin v2 JSON span array.
+func WriteZipkin(w io.Writer, traces []*Trace, opt ZipkinOptions) error {
+	every := opt.SampleEvery
+	if every < 1 {
+		every = 1
+	}
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, '[')
+	var parents []int
+	first := true
+	for i, t := range traces {
+		if i%every != 0 {
+			continue
+		}
+		if cap(parents) < len(t.Spans) {
+			parents = make([]int, len(t.Spans))
+		}
+		parents = parents[:len(t.Spans)]
+		inferParents(t.Spans, endOrder(nil, t.Spans), parents)
+		buf = appendZipkinTrace(buf, t, parents, &first)
+		if len(buf) >= 1<<15 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	buf = append(buf, ']', '\n')
+	_, err := w.Write(buf)
+	return err
+}
+
+// appendZipkinTrace encodes one trace: a synthetic SERVER root span for
+// the request, then one span per recorded invocation, parented per the
+// dispatch-tree inference.
+func appendZipkinTrace(b []byte, t *Trace, parents []int, first *bool) []byte {
+	b = appendSep(b, first)
+	b = appendZipkinSpan(b, zipkinSpan{
+		traceID: t.ID,
+		id:      zipkinRootID,
+		name:    "request",
+		service: t.Region,
+		submit:  t.Begin,
+		start:   t.Begin,
+		end:     t.Finish,
+	})
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		parent := uint64(zipkinRootID)
+		if parents[i] >= 0 {
+			parent = uint64(parents[i]) + zipkinRootID + 1
+		}
+		b = appendSep(b, first)
+		b = appendZipkinSpan(b, zipkinSpan{
+			traceID: t.ID,
+			id:      uint64(i) + zipkinRootID + 1,
+			parent:  parent,
+			name:    s.Service,
+			service: s.Service,
+			host:    s.Host,
+			ghz:     s.FreqGHz,
+			submit:  s.Submit,
+			start:   s.Start,
+			end:     s.End,
+		})
+	}
+	return b
+}
+
+// zipkinSpan carries one span's encoding inputs. parent 0 omits parentId
+// (the root span); host "" omits the tags object.
+type zipkinSpan struct {
+	traceID, id, parent uint64
+	name, service, host string
+	ghz                 float64
+	submit, start, end  sim.Time
+}
+
+func appendZipkinSpan(b []byte, s zipkinSpan) []byte {
+	b = append(b, `{"traceId":"`...)
+	b = appendHex16(b, s.traceID)
+	b = append(b, `","id":"`...)
+	b = appendHex16(b, s.id)
+	b = append(b, '"')
+	if s.parent != 0 {
+		b = append(b, `,"parentId":"`...)
+		b = appendHex16(b, s.parent)
+		b = append(b, '"')
+	}
+	b = append(b, `,"kind":"SERVER","name":`...)
+	b = appendQuoted(b, s.name)
+	b = append(b, `,"timestamp":`...)
+	b = strconv.AppendInt(b, micros(s.submit), 10)
+	b = append(b, `,"duration":`...)
+	b = strconv.AppendInt(b, int64(s.end.Sub(s.submit))/int64(time.Microsecond), 10)
+	b = append(b, `,"localEndpoint":{"serviceName":`...)
+	b = appendQuoted(b, s.service)
+	b = append(b, '}')
+	if s.host != "" {
+		b = append(b, `,"tags":{"host":`...)
+		b = appendQuoted(b, s.host)
+		b = append(b, `,"ghz":"`...)
+		b = strconv.AppendFloat(b, s.ghz, 'g', -1, 64)
+		b = append(b, `","queue_us":"`...)
+		b = strconv.AppendInt(b, int64(s.start.Sub(s.submit))/int64(time.Microsecond), 10)
+		b = append(b, `"}`...)
+	}
+	return append(b, '}')
+}
+
+func appendSep(b []byte, first *bool) []byte {
+	if *first {
+		*first = false
+		return b
+	}
+	return append(b, ',')
+}
+
+func micros(t sim.Time) int64 { return int64(t) / int64(time.Microsecond) }
+
+const hexDigits = "0123456789abcdef"
+
+// appendHex16 appends v as exactly 16 lowercase hex digits, the Zipkin id
+// wire form.
+func appendHex16(b []byte, v uint64) []byte {
+	var tmp [16]byte
+	for i := 15; i >= 0; i-- {
+		tmp[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return append(b, tmp[:]...)
+}
+
+// appendQuoted writes s as a JSON string. Service and node names are
+// plain ASCII identifiers; the escape arm keeps arbitrary spec names
+// valid anyway.
+func appendQuoted(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"testing"
+)
+
+// zipkinSpanShape mirrors the Zipkin v2 span schema fields the exporter
+// emits; unmarshalling into it is the schema-shape check.
+type zipkinSpanShape struct {
+	TraceID       string `json:"traceId"`
+	ID            string `json:"id"`
+	ParentID      string `json:"parentId"`
+	Kind          string `json:"kind"`
+	Name          string `json:"name"`
+	Timestamp     int64  `json:"timestamp"`
+	Duration      int64  `json:"duration"`
+	LocalEndpoint struct {
+		ServiceName string `json:"serviceName"`
+	} `json:"localEndpoint"`
+	Tags map[string]string `json:"tags"`
+}
+
+func exportTraces() []*Trace {
+	return []*Trace{
+		chainTrace(),
+		{
+			ID: 2, Region: "B", Begin: msf(5), Finish: msf(18),
+			Spans: []Span{
+				{Service: "api", Host: "serverB", Submit: msf(5), Start: msf(5), End: msf(9), FreqGHz: 1.8},
+				{Service: "seat", Host: "serverC2", Submit: msf(9.1), Start: msf(9.6), End: msf(18), FreqGHz: 1.2},
+			},
+		},
+	}
+}
+
+var hex16 = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// TestZipkinSchemaShape validates the exported bytes as Zipkin v2 span
+// JSON: an array of spans with 16-hex ids, resolvable parents, SERVER
+// kind, microsecond timestamps and a named localEndpoint.
+func TestZipkinSchemaShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteZipkin(&buf, exportTraces(), ZipkinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("export is not valid JSON: %s", buf.Bytes())
+	}
+	var spans []zipkinSpanShape
+	if err := json.Unmarshal(buf.Bytes(), &spans); err != nil {
+		t.Fatal(err)
+	}
+	// 2 traces × (1 root + 2 spans).
+	if len(spans) != 6 {
+		t.Fatalf("exported %d spans, want 6", len(spans))
+	}
+	ids := map[string]map[string]bool{} // traceId -> span ids
+	for _, s := range spans {
+		if !hex16.MatchString(s.TraceID) || !hex16.MatchString(s.ID) {
+			t.Fatalf("non-hex ids: %+v", s)
+		}
+		if ids[s.TraceID] == nil {
+			ids[s.TraceID] = map[string]bool{}
+		}
+		if ids[s.TraceID][s.ID] {
+			t.Fatalf("duplicate span id %s in trace %s", s.ID, s.TraceID)
+		}
+		ids[s.TraceID][s.ID] = true
+	}
+	for _, s := range spans {
+		if s.Kind != "SERVER" || s.Name == "" || s.LocalEndpoint.ServiceName == "" {
+			t.Fatalf("span missing kind/name/endpoint: %+v", s)
+		}
+		if s.Timestamp < 0 || s.Duration < 0 {
+			t.Fatalf("negative timestamp/duration: %+v", s)
+		}
+		if s.ParentID != "" {
+			if !hex16.MatchString(s.ParentID) || !ids[s.TraceID][s.ParentID] {
+				t.Fatalf("parentId %s unresolvable within trace %s", s.ParentID, s.TraceID)
+			}
+		} else if s.Name != "request" {
+			t.Fatalf("only the root span may omit parentId: %+v", s)
+		}
+		if s.Name != "request" {
+			if s.Tags["host"] == "" || s.Tags["ghz"] == "" || s.Tags["queue_us"] == "" {
+				t.Fatalf("span missing host/ghz/queue tags: %+v", s)
+			}
+		}
+	}
+	// Spot-check microsecond conversion: the second trace's seat span
+	// submits at 9.1ms = 9100µs and runs 8.9ms = 8900µs end to end.
+	var seat *zipkinSpanShape
+	for i := range spans {
+		if spans[i].Name == "seat" {
+			seat = &spans[i]
+		}
+	}
+	if seat == nil || seat.Timestamp != 9100 || seat.Duration != 8900 {
+		t.Fatalf("seat span = %+v, want timestamp 9100µs duration 8900µs", seat)
+	}
+	if seat.Tags["ghz"] != "1.2" || seat.Tags["queue_us"] != "500" {
+		t.Fatalf("seat tags = %v", seat.Tags)
+	}
+}
+
+func TestZipkinSampling(t *testing.T) {
+	traces := exportTraces()
+	traces = append(traces, exportTraces()...) // 4 traces
+	var buf bytes.Buffer
+	if err := WriteZipkin(&buf, traces, ZipkinOptions{SampleEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var spans []zipkinSpanShape
+	if err := json.Unmarshal(buf.Bytes(), &spans); err != nil {
+		t.Fatal(err)
+	}
+	// Traces 0 and 2 kept: 2 × (1 root + 2 spans).
+	if len(spans) != 6 {
+		t.Fatalf("sampled %d spans, want 6", len(spans))
+	}
+}
+
+func TestZipkinDeterministicBytes(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteZipkin(&a, exportTraces(), ZipkinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteZipkin(&b, exportTraces(), ZipkinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("export bytes differ across identical inputs")
+	}
+}
+
+func TestZipkinEscaping(t *testing.T) {
+	tr := &Trace{
+		ID: 9, Region: `re"gion`, Begin: 0, Finish: msf(1),
+		Spans: []Span{{Service: "svc\\x", Host: "h\n1", Submit: 0, Start: 0, End: msf(1)}},
+	}
+	var buf bytes.Buffer
+	if err := WriteZipkin(&buf, []*Trace{tr}, ZipkinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var spans []zipkinSpanShape
+	if err := json.Unmarshal(buf.Bytes(), &spans); err != nil {
+		t.Fatalf("escaped names broke the JSON: %v\n%s", err, buf.Bytes())
+	}
+	if spans[1].Name != "svc\\x" || spans[1].Tags["host"] != "h\n1" {
+		t.Fatalf("round-trip mangled names: %+v", spans[1])
+	}
+}
