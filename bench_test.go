@@ -24,6 +24,7 @@ import (
 	"servicefridge/internal/fridge"
 	"servicefridge/internal/metrics"
 	"servicefridge/internal/sim"
+	"servicefridge/internal/telemetry"
 	"servicefridge/internal/trace"
 )
 
@@ -67,6 +68,7 @@ func BenchmarkExtScaleOut(b *testing.B) { benchExperiment(b, "ext-scale") }
 func BenchmarkExtOpenLoop(b *testing.B) { benchExperiment(b, "ext-openloop") }
 func BenchmarkExtEvents(b *testing.B)   { benchExperiment(b, "ext-events") }
 func BenchmarkExtCritPath(b *testing.B) { benchExperiment(b, "ext-critpath") }
+func BenchmarkExtSLO(b *testing.B)      { benchExperiment(b, "ext-slo") }
 
 // ---------------------------------------------------------------------
 // Parallel experiment executor: sequential vs parallel regeneration of
@@ -381,6 +383,42 @@ func BenchmarkStreamingHistogram(b *testing.B) {
 	}
 	if h.Count() != uint64(b.N) {
 		b.Fatalf("count = %d, want %d", h.Count(), b.N)
+	}
+}
+
+// BenchmarkTelemetrySample measures one telemetry sampling tick — window
+// digests for every bound series, probe reads, SLO evaluation, ring
+// append — on a realistically bound instance. Gated allocation-free via
+// bench_gates.json: the sampler runs inside the deterministic sim loop,
+// so it must never disturb the heap.
+func BenchmarkTelemetrySample(b *testing.B) {
+	var now sim.Time
+	tel := telemetry.New(telemetry.Options{})
+	spec := app.TwoRegionStudy()
+	err := tel.Bind(telemetry.Bindings{
+		Now:        func() sim.Time { return now },
+		Scheme:     "ServiceFridge",
+		Regions:    spec.RegionNames(),
+		Services:   spec.ServiceNames(),
+		Cluster:    func() (float64, float64, float64, bool) { return 330, 400, 0.7, true },
+		Migrations: func() uint64 { return 5 },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	regions := spec.RegionNames()
+	services := spec.ServiceNames()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := time.Duration(10+i%40) * time.Millisecond
+		tel.ObserveResponse(regions[i%len(regions)], d)
+		tel.ObserveServiceExec(services[i%len(services)], d/8)
+		now += sim.Time(time.Second)
+		tel.Sample()
+	}
+	if tel.Len() == 0 {
+		b.Fatal("no samples recorded")
 	}
 }
 

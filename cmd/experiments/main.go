@@ -9,6 +9,7 @@
 //	experiments -seed 7 -run fig6
 //	experiments -run all -parallel 8
 //	experiments -run all -events events.jsonl
+//	experiments -run ext-slo -timeseries telemetry.csv
 //	experiments -run ext-critpath -traces traces.json -trace-sample 0.05
 //	experiments -run fig15 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -20,20 +21,24 @@
 // instrumented run (see internal/experiments.ExportEventsJSONL) and
 // writes its controller event stream as JSONL; -traces executes the
 // canonical study run and writes its request traces as Zipkin v2 JSON,
-// deterministically sampled at -trace-sample. Both exports are
-// byte-identical across -parallel widths. -cpuprofile/-memprofile write
-// pprof profiles of the regeneration itself.
+// deterministically sampled at -trace-sample; -timeseries executes the
+// same canonical scenario with telemetry bound and writes the sampled
+// time series as CSV. All exports are byte-identical across -parallel
+// widths. -cpuprofile/-memprofile write pprof profiles of the
+// regeneration itself.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"servicefridge/internal/cliutil"
 	"servicefridge/internal/experiments"
 )
 
@@ -47,15 +52,13 @@ func run() int {
 		format   = flag.String("format", "table", "output format: table or csv")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max concurrent simulation runs (1 = sequential)")
-		events = flag.String("events", "",
-			"write the canonical instrumented run's controller event stream as JSONL to this file")
-		traces = flag.String("traces", "",
-			"write the canonical study run's request traces as Zipkin v2 JSON to this file")
-		traceSample = flag.Float64("trace-sample", 0.05,
-			"fraction of requests exported by -traces (deterministic stride, not RNG)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the regeneration to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile (post-regeneration) to this file")
+		exports    cliutil.ExportFlags
+		telFlags   cliutil.TelemetryFlags
 	)
+	exports.Bind(flag.CommandLine, 0.05)
+	telFlags.Bind(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -125,57 +128,44 @@ func run() int {
 		return 1
 	}
 
-	if *events != "" {
-		if err := writeFile(*events, func(f *os.File) error {
-			return experiments.ExportEventsJSONL(*seed, f)
+	if exports.Events != "" {
+		if err := cliutil.ExportFile(exports.Events, func(w io.Writer) error {
+			return experiments.ExportEventsJSONL(*seed, w)
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "events: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "(event stream written to %s)\n", *events)
+		fmt.Fprintf(os.Stderr, "(event stream written to %s)\n", exports.Events)
 	}
 
-	if *traces != "" {
-		if err := writeFile(*traces, func(f *os.File) error {
-			return experiments.ExportTracesJSON(*seed, sampleStride(*traceSample), f)
+	if exports.Traces != "" {
+		if err := cliutil.ExportFile(exports.Traces, func(w io.Writer) error {
+			return experiments.ExportTracesJSON(*seed, exports.Stride(), w)
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "traces: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "(trace export written to %s)\n", *traces)
+		fmt.Fprintf(os.Stderr, "(trace export written to %s)\n", exports.Traces)
+	}
+
+	if telFlags.Timeseries != "" {
+		if err := cliutil.ExportFile(telFlags.Timeseries, func(w io.Writer) error {
+			return experiments.ExportTimeseriesCSV(*seed, w)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "timeseries: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "(telemetry time series written to %s)\n", telFlags.Timeseries)
 	}
 
 	if *memprofile != "" {
-		if err := writeFile(*memprofile, func(f *os.File) error {
+		if err := cliutil.ExportFile(*memprofile, func(w io.Writer) error {
 			runtime.GC()
-			return pprof.WriteHeapProfile(f)
+			return pprof.WriteHeapProfile(w)
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 			return 1
 		}
 	}
 	return 0
-}
-
-// sampleStride converts a sampling fraction into the exporter's
-// deterministic keep-every-k stride.
-func sampleStride(rate float64) int {
-	if rate <= 0 || rate >= 1 {
-		return 1
-	}
-	return int(1/rate + 0.5)
-}
-
-// writeFile creates path, hands it to write, and closes it, reporting the
-// first error.
-func writeFile(path string, write func(*os.File) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

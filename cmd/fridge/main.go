@@ -4,25 +4,37 @@
 // Usage:
 //
 //	fridge -scheme ServiceFridge -budget 0.8 -workers 50 -mixA 30 -mixB 20 -duration 30s
+//	fridge -scheme ServiceFridge -budget 0.8 -timeseries run.csv
+//	fridge -scheme ServiceFridge -budget 0.8 -listen :8080   # live /metrics
+//
+// With -listen the process serves Prometheus text-format /metrics, a JSON
+// /status snapshot, and /healthz while the simulation runs, and keeps
+// serving the final snapshot after the results print until interrupted.
+// Serving is read-only off an atomically published snapshot, so scraping
+// never perturbs the (deterministic) run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"servicefridge/internal/app"
+	"servicefridge/internal/cliutil"
 	"servicefridge/internal/core"
 	"servicefridge/internal/engine"
 	"servicefridge/internal/fridge"
 	"servicefridge/internal/metrics"
 	"servicefridge/internal/obs"
 	"servicefridge/internal/schemes"
+	"servicefridge/internal/telemetry"
 	"servicefridge/internal/trace"
-	"servicefridge/internal/workload"
 )
 
 func main() {
@@ -37,42 +49,17 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		appFlag  = flag.String("app", "study", "application: study (8 services, 2 regions) or full (42 services, 6 regions)")
 		specPath = flag.String("spec", "", "JSON application profile (overrides -app)")
-		events   = flag.String("events", "", "write the run's controller event stream as JSONL to this file")
-		traces   = flag.String("traces", "",
-			"write the run's request traces as Zipkin v2 JSON to this file (forces span retention)")
-		traceSample = flag.Float64("trace-sample", 1,
-			"fraction of requests exported by -traces (deterministic stride, not RNG)")
+		exports  cliutil.ExportFlags
+		telFlags cliutil.TelemetryFlags
 	)
+	exports.Bind(flag.CommandLine, 1)
+	telFlags.BindServe(flag.CommandLine)
 	flag.Parse()
 
-	spec := app.TwoRegionStudy()
-	if *appFlag == "full" {
-		spec = app.TrainTicket()
-	}
-	if *specPath != "" {
-		f, err := os.Open(*specPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		spec, err = app.ReadSpec(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-	// Mix: for the two-region study, -mixA/-mixB weights; otherwise a
-	// uniform mix over the spec's regions.
-	var mix *workload.Mix
-	if spec.Region("A") != nil && spec.Region("B") != nil {
-		mix = workload.Ratio(*mixA, *mixB)
-	} else {
-		weights := map[string]float64{}
-		for _, rn := range spec.RegionNames() {
-			weights[rn] = 1
-		}
-		mix = workload.NewMix(spec.RegionNames(), weights)
+	spec, err := cliutil.LoadSpec(*appFlag, *specPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	cfg := engine.Config{
@@ -81,35 +68,56 @@ func main() {
 		Scheme:         engine.SchemeName(*scheme),
 		BudgetFraction: *budget,
 		Workers:        *workers,
-		Mix:            mix,
+		Mix:            cliutil.MixFor(spec, *mixA, *mixB),
 		Warmup:         *warmup,
 		Duration:       *duration,
-		KeepSpans:      *traces != "",
+		KeepSpans:      exports.Traces != "",
 	}
-	if *events != "" {
+	if exports.Events != "" {
 		cfg.Events = obs.NewRecorder(0)
 	}
+	tel := telFlags.New(*warmup)
+	cfg.Telemetry = tel
+
+	// The listener starts before the run so scrapers can watch it live;
+	// handlers read published snapshots only and never touch the sim.
+	var served string
+	if telFlags.Listen != "" {
+		tel.EnablePublishing()
+		ln, err := net.Listen("tcp", telFlags.Listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "listen: %v\n", err)
+			os.Exit(1)
+		}
+		served = ln.Addr().String()
+		go (&http.Server{Handler: telemetry.NewHandler(tel)}).Serve(ln)
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", served)
+	}
+
 	res, err := engine.RunE(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *events != "" {
-		if err := exportFile(*events, cfg.Events.WriteJSONL); err != nil {
+	if exports.Events != "" {
+		if err := cliutil.ExportFile(exports.Events, cfg.Events.WriteJSONL); err != nil {
 			fmt.Fprintf(os.Stderr, "events: %v\n", err)
 			os.Exit(1)
 		}
 	}
-	if *traces != "" {
-		every := 1
-		if *traceSample > 0 && *traceSample < 1 {
-			every = int(1/(*traceSample) + 0.5)
-		}
-		err := exportFile(*traces, func(w io.Writer) error {
-			return trace.WriteZipkin(w, res.Collector.Traces(), trace.ZipkinOptions{SampleEvery: every})
+	if exports.Traces != "" {
+		err := cliutil.ExportFile(exports.Traces, func(w io.Writer) error {
+			return trace.WriteZipkin(w, res.Collector.Traces(),
+				trace.ZipkinOptions{SampleEvery: exports.Stride()})
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "traces: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if telFlags.Timeseries != "" {
+		if err := cliutil.ExportFile(telFlags.Timeseries, tel.WriteCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "timeseries: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -155,22 +163,33 @@ func main() {
 			res.Fridge.Promotions(), res.Fridge.Demotions())
 	}
 
+	if tel != nil {
+		fmt.Println()
+		any := false
+		for _, r := range tel.SLOReport() {
+			if r.FirstViolation < 0 {
+				continue
+			}
+			any = true
+			frac := float64(r.ViolationTicks) / float64(r.EvalTicks)
+			fmt.Printf("slo %-10s first violation t=%.0fs, in violation %.0f%% of evaluated ticks\n",
+				r.Series, r.FirstViolation.Seconds(), 100*frac)
+		}
+		if !any {
+			fmt.Printf("slo: no violations (p95 target %v)\n", telFlags.SLOTarget)
+		}
+	}
+
 	if res.Executor.Completed() == 0 {
 		fmt.Fprintln(os.Stderr, "warning: no requests completed")
 		os.Exit(1)
 	}
-}
 
-// exportFile creates path, hands it to write, and closes it, reporting the
-// first error.
-func exportFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if served != "" {
+		fmt.Fprintf(os.Stderr,
+			"telemetry: run complete; serving the final snapshot on http://%s (interrupt to exit)\n", served)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

@@ -13,75 +13,81 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"servicefridge/internal/app"
+	"servicefridge/internal/cliutil"
 	"servicefridge/internal/cluster"
 	"servicefridge/internal/core"
 	"servicefridge/internal/metrics"
 )
 
-func main() {
-	var (
-		specPath = flag.String("spec", "", "JSON application profile (default: built-in two-region study)")
-		mixFlag  = flag.String("mix", "A=30,B=20", "region load, comma-separated name=weight pairs")
-		freq     = flag.Float64("freq", 2.4, "operating frequency in GHz for the MCF column")
-		export   = flag.Bool("export", false, "print the selected spec as JSON and exit")
-		full     = flag.Bool("full", false, "use the full 42-service TrainTicket profile")
-	)
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-	spec := app.TwoRegionStudy()
-	if *full {
-		spec = app.TrainTicket()
+// run is main with its dependencies injected, so the golden test can
+// drive the whole command.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		specPath = fs.String("spec", "", "JSON application profile (default: built-in two-region study)")
+		mixFlag  = fs.String("mix", "A=30,B=20", "region load, comma-separated name=weight pairs")
+		freq     = fs.Float64("freq", 2.4, "operating frequency in GHz for the MCF column")
+		export   = fs.Bool("export", false, "print the selected spec as JSON and exit")
+		full     = fs.Bool("full", false, "use the full 42-service TrainTicket profile")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if *specPath != "" {
-		f, err := os.Open(*specPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		spec, err = app.ReadSpec(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+
+	appName := "study"
+	if *full {
+		appName = "full"
+	}
+	spec, err := cliutil.LoadSpec(appName, *specPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	if *export {
-		if _, err := spec.WriteTo(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if _, err := spec.WriteTo(stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Println()
-		return
+		fmt.Fprintln(stdout)
+		return 0
 	}
 
-	load, err := parseMix(*mixFlag)
+	load, err := cliutil.ParseMix(*mixFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	for region := range load {
 		if spec.Region(region) == nil {
-			fmt.Fprintf(os.Stderr, "unknown region %q; spec has %v\n", region, spec.RegionNames())
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown region %q; spec has %v\n", region, spec.RegionNames())
+			return 2
 		}
 	}
 
+	fmt.Fprintln(stdout, mcfTable(spec, load, *mixFlag, *freq))
+	return 0
+}
+
+// mcfTable ranks the spec's services by MCF under the given load.
+func mcfTable(spec *app.Spec, load map[string]float64, mixLabel string, freq float64) *metrics.Table {
 	graph := core.BuildGraph(spec)
 	calc := core.NewCalculator(graph)
 	classifier := core.NewClassifier(calc)
 
-	f := cluster.ClampFreq(cluster.GHz(*freq))
+	f := cluster.ClampFreq(cluster.GHz(freq))
 	mcf := calc.MCF(load, f)
 	atMin := calc.MCF(load, cluster.FreqMin)
 	levels := classifier.Classify(load)
 
 	tb := metrics.NewTable(
-		fmt.Sprintf("MCF at %v (load %s, normalized to %v)", f, *mixFlag, core.DefaultRTRef),
+		fmt.Sprintf("MCF at %v (load %s, normalized to %v)", f, mixLabel, core.DefaultRTRef),
 		"rank", "microservice", "MCF", "MCF@1.2GHz", "criticality", "zone")
 	for i, svc := range core.Rank(mcf) {
 		zone := map[core.Criticality]string{
@@ -89,30 +95,5 @@ func main() {
 		}[levels[svc]]
 		tb.Rowf(i+1, svc, mcf[svc], atMin[svc], levels[svc].String(), zone)
 	}
-	fmt.Println(tb)
-}
-
-func parseMix(s string) (map[string]float64, error) {
-	out := map[string]float64{}
-	for _, pair := range strings.Split(s, ",") {
-		pair = strings.TrimSpace(pair)
-		if pair == "" {
-			continue
-		}
-		name, val, ok := strings.Cut(pair, "=")
-		if !ok {
-			return nil, fmt.Errorf("bad mix entry %q (want name=weight)", pair)
-		}
-		w, err := strconv.ParseFloat(val, 64)
-		if err != nil || w < 0 {
-			return nil, fmt.Errorf("bad weight in %q", pair)
-		}
-		if w > 0 {
-			out[strings.TrimSpace(name)] = w
-		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("mix %q has no positive weights", s)
-	}
-	return out, nil
+	return tb
 }

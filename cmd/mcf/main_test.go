@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// golden runs the command and compares stdout against a checked-in
+// artifact; regenerate with `go run ./cmd/mcf <args> > testdata/<name>`.
+func golden(t *testing.T, name string, args ...string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Fatalf("output differs from testdata/%s:\n--- got ---\n%s\n--- want ---\n%s",
+			name, stdout.String(), want)
+	}
+}
+
+func TestGoldenDefault(t *testing.T) {
+	golden(t, "study.golden.txt")
+}
+
+func TestGoldenMixAndFreq(t *testing.T) {
+	golden(t, "mix_freq.golden.txt", "-mix", "A=10,B=40", "-freq", "1.8")
+}
+
+func TestExportRoundTrips(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-export"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "\"services\"") {
+		t.Fatalf("export is not a spec JSON:\n%s", stdout.String())
+	}
+}
+
+func TestBadMixFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-mix", "A=x"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for malformed mix, want 2", code)
+	}
+	if stderr.Len() == 0 {
+		t.Fatal("no diagnostic on stderr")
+	}
+}
+
+func TestUnknownRegionFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-mix", "Z=1"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for unknown region, want 2", code)
+	}
+}

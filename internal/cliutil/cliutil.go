@@ -1,0 +1,162 @@
+// Package cliutil holds the flag groups and small helpers shared by the
+// repo's command-line tools (cmd/fridge, cmd/experiments, cmd/mcf), so
+// common flags are defined — and documented — exactly once.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"servicefridge/internal/app"
+	"servicefridge/internal/telemetry"
+	"servicefridge/internal/workload"
+)
+
+// ExportFlags groups the artifact-export flags shared by cmd/fridge and
+// cmd/experiments.
+type ExportFlags struct {
+	Events      string
+	Traces      string
+	TraceSample float64
+}
+
+// Bind registers the export flags on fs. defaultSample is the default
+// -trace-sample fraction (cmd/fridge exports everything by default; the
+// canonical experiments run samples to keep artifacts small).
+func (e *ExportFlags) Bind(fs *flag.FlagSet, defaultSample float64) {
+	fs.StringVar(&e.Events, "events", "",
+		"write the run's controller event stream as JSONL to this file")
+	fs.StringVar(&e.Traces, "traces", "",
+		"write the run's request traces as Zipkin v2 JSON to this file")
+	fs.Float64Var(&e.TraceSample, "trace-sample", defaultSample,
+		"fraction of requests exported by -traces (deterministic stride, not RNG)")
+}
+
+// Stride converts the -trace-sample fraction into the exporter's
+// deterministic keep-every-k stride.
+func (e *ExportFlags) Stride() int {
+	if e.TraceSample <= 0 || e.TraceSample >= 1 {
+		return 1
+	}
+	return int(1/e.TraceSample + 0.5)
+}
+
+// TelemetryFlags groups the live-telemetry flags.
+type TelemetryFlags struct {
+	Timeseries string
+	Listen     string
+	SLOTarget  time.Duration
+}
+
+// Bind registers -timeseries, the telemetry flag every CLI shares.
+func (t *TelemetryFlags) Bind(fs *flag.FlagSet) {
+	fs.StringVar(&t.Timeseries, "timeseries", "",
+		"write the sampled telemetry time series as CSV to this file")
+}
+
+// BindServe registers -timeseries plus the flags that only make sense on
+// a tool that owns a live run: -listen and -slo-target.
+func (t *TelemetryFlags) BindServe(fs *flag.FlagSet) {
+	t.Bind(fs)
+	fs.StringVar(&t.Listen, "listen", "",
+		"serve live telemetry on this address (/metrics Prometheus text, /status JSON, /healthz)")
+	fs.DurationVar(&t.SLOTarget, "slo-target", telemetry.DefaultSLOTarget,
+		"p95 response-time target the SLO monitor alerts on")
+}
+
+// Enabled reports whether any telemetry surface was requested.
+func (t *TelemetryFlags) Enabled() bool { return t.Timeseries != "" || t.Listen != "" }
+
+// New constructs the Telemetry instance the flags describe, or nil when
+// no telemetry surface was requested. The SLO monitor's grace period is
+// the run's warmup, so the discarded phase cannot trip alerts.
+func (t *TelemetryFlags) New(warmup time.Duration) *telemetry.Telemetry {
+	if !t.Enabled() {
+		return nil
+	}
+	return telemetry.New(telemetry.Options{
+		SLO: telemetry.SLOOptions{Target: t.SLOTarget, Grace: warmup},
+	})
+}
+
+// LoadSpec resolves an application profile: specPath (a JSON profile)
+// wins when set; otherwise name selects a built-in ("study" or "full").
+func LoadSpec(name, specPath string) (*app.Spec, error) {
+	spec := app.TwoRegionStudy()
+	switch name {
+	case "", "study":
+	case "full":
+		spec = app.TrainTicket()
+	default:
+		return nil, fmt.Errorf("unknown application %q (want study or full)", name)
+	}
+	if specPath != "" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return app.ReadSpec(f)
+	}
+	return spec, nil
+}
+
+// MixFor builds the request mix: the two-region study honours the
+// -mixA/-mixB weights; any other spec gets a uniform mix over its
+// regions.
+func MixFor(spec *app.Spec, mixA, mixB float64) *workload.Mix {
+	if spec.Region("A") != nil && spec.Region("B") != nil {
+		return workload.Ratio(mixA, mixB)
+	}
+	weights := map[string]float64{}
+	for _, rn := range spec.RegionNames() {
+		weights[rn] = 1
+	}
+	return workload.NewMix(spec.RegionNames(), weights)
+}
+
+// ParseMix parses comma-separated name=weight pairs into a load map,
+// dropping zero weights and rejecting malformed or all-zero input.
+func ParseMix(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want name=weight)", pair)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad weight in %q", pair)
+		}
+		if w > 0 {
+			out[strings.TrimSpace(name)] = w
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mix %q has no positive weights", s)
+	}
+	return out, nil
+}
+
+// ExportFile creates path, hands it to write, and closes it, reporting
+// the first error.
+func ExportFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,92 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("A=30, B=20,C=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m["A"] != 30 || m["B"] != 20 {
+		t.Fatalf("parsed %v", m)
+	}
+	for _, bad := range []string{"", "A", "A=x", "A=-1", "A=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadSpec(t *testing.T) {
+	study, err := LoadSpec("study", "")
+	if err != nil || study.Region("A") == nil {
+		t.Fatalf("study spec: %v", err)
+	}
+	full, err := LoadSpec("full", "")
+	if err != nil || len(full.ServiceNames()) <= len(study.ServiceNames()) {
+		t.Fatalf("full spec not larger: %v", err)
+	}
+	if _, err := LoadSpec("nope", ""); err == nil {
+		t.Fatal("unknown app name accepted")
+	}
+	if _, err := LoadSpec("study", "/does/not/exist.json"); err == nil {
+		t.Fatal("missing spec path accepted")
+	}
+}
+
+func TestMixFor(t *testing.T) {
+	study, _ := LoadSpec("study", "")
+	if MixFor(study, 3, 1) == nil {
+		t.Fatal("nil mix for the study spec")
+	}
+	full, _ := LoadSpec("full", "")
+	if MixFor(full, 3, 1) == nil {
+		t.Fatal("nil mix for the full spec")
+	}
+}
+
+func TestExportFlagsStride(t *testing.T) {
+	for _, tc := range []struct {
+		rate float64
+		want int
+	}{{1, 1}, {0, 1}, {0.5, 2}, {0.05, 20}, {-1, 1}} {
+		e := ExportFlags{TraceSample: tc.rate}
+		if got := e.Stride(); got != tc.want {
+			t.Fatalf("Stride(%v) = %d, want %d", tc.rate, got, tc.want)
+		}
+	}
+}
+
+func TestTelemetryFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var tf TelemetryFlags
+	tf.BindServe(fs)
+	if err := fs.Parse([]string{"-timeseries", "out.csv", "-slo-target", "50ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if !tf.Enabled() || tf.SLOTarget != 50*time.Millisecond {
+		t.Fatalf("parsed %+v", tf)
+	}
+	if tf.New(time.Second) == nil {
+		t.Fatal("New returned nil with telemetry enabled")
+	}
+	var off TelemetryFlags
+	if off.Enabled() || off.New(0) != nil {
+		t.Fatal("disabled flags built a Telemetry")
+	}
+
+	// The plain Bind must not define the serve-only flags.
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	var tf2 TelemetryFlags
+	tf2.Bind(fs2)
+	if err := fs2.Parse([]string{"-listen", ":0"}); err == nil {
+		t.Fatal("-listen accepted by the non-serving flag set")
+	}
+}

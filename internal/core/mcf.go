@@ -54,6 +54,46 @@ func (c *Calculator) MCF(load map[string]float64, f cluster.GHz) map[string]floa
 	return c.MCFAt(load, func(string) cluster.GHz { return f })
 }
 
+// MCFInto is MCF reusing out as the result map when non-nil: existing
+// keys are overwritten in place, so a caller that holds one map across
+// control ticks computes MCF with zero steady-state allocations. The
+// service set never changes within a run, so stale keys cannot linger.
+func (c *Calculator) MCFInto(load map[string]float64, f cluster.GHz, out map[string]float64) map[string]float64 {
+	if out == nil {
+		return c.MCF(load, f)
+	}
+	var totalEdges float64
+	for rn, l := range load {
+		if l > 0 {
+			totalEdges += l * float64(c.g.EdgeCount(rn))
+		}
+	}
+	if totalEdges == 0 {
+		for _, s := range c.g.services {
+			out[s] = 0
+		}
+		return out
+	}
+	ref := float64(c.rtRef())
+	for _, s := range c.g.services {
+		beta := 1.0
+		if !c.IgnoreBeta {
+			beta = c.g.Beta(s, f)
+		}
+		var mcf float64
+		for _, e := range c.g.Edges(s) {
+			l := load[e.Region]
+			if l <= 0 {
+				continue
+			}
+			in := l / totalEdges
+			mcf += in * float64(e.Weight()) * beta / ref
+		}
+		out[s] = mcf
+	}
+	return out
+}
+
 // MCFAt is MCF with a per-service frequency (services hosted on different
 // zones run at different frequencies — the "timely power supply" input).
 func (c *Calculator) MCFAt(load map[string]float64, freqOf func(service string) cluster.GHz) map[string]float64 {

@@ -76,6 +76,35 @@ func TestMCFPureAOrdering(t *testing.T) {
 	}
 }
 
+func TestMCFIntoMatchesMCF(t *testing.T) {
+	c := NewCalculator(studyGraph())
+	loads := []map[string]float64{
+		{"A": 30, "B": 20}, {"A": 12}, {"B": 7}, {},
+	}
+	out := map[string]float64{}
+	for _, load := range loads {
+		want := c.MCF(load, cluster.FreqMax)
+		got := c.MCFInto(load, cluster.FreqMax, out)
+		if len(got) != len(want) {
+			t.Fatalf("MCFInto returned %d services, want %d", len(got), len(want))
+		}
+		for s, v := range want {
+			if got[s] != v {
+				t.Fatalf("load %v: MCFInto[%s] = %v, MCF = %v", load, s, got[s], v)
+			}
+		}
+	}
+	if c.MCFInto(loads[0], cluster.FreqMax, nil) == nil {
+		t.Fatal("MCFInto(nil out) must allocate a fresh map")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		c.MCFInto(loads[0], cluster.FreqMax, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("MCFInto with a reused map allocated %.3f objects/op, want 0", allocs)
+	}
+}
+
 func TestMCFZeroLoad(t *testing.T) {
 	c := NewCalculator(studyGraph())
 	mcf := c.MCF(map[string]float64{}, cluster.FreqMax)

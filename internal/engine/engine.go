@@ -20,6 +20,7 @@ import (
 	"servicefridge/internal/power"
 	"servicefridge/internal/schemes"
 	"servicefridge/internal/sim"
+	"servicefridge/internal/telemetry"
 	"servicefridge/internal/trace"
 	"servicefridge/internal/workload"
 )
@@ -118,6 +119,12 @@ type Config struct {
 	// (no RNG draws, no scheduling), so an instrumented run is otherwise
 	// byte-identical to an uninstrumented one.
 	Events *obs.Recorder
+	// Telemetry, when non-nil, is bound to the run and sampled once per
+	// telemetry interval: per-zone power, sliding-window latency
+	// quantiles, warm-zone utilization, live MCF, and SLO monitoring.
+	// Like Events it is passive — no RNG draws, no simulation mutation —
+	// so an instrumented run is byte-identical to an uninstrumented one.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c *Config) fill() {
@@ -418,6 +425,33 @@ func BuildE(cfg Config) (*Result, error) {
 	if !reg.SkipTickWithFixedFreqs || len(cfg.FixedFreqs) == 0 {
 		// Baseline with fixed frequencies must not reset them each tick.
 		eng.Every(cfg.ControlInterval, scheme.Tick)
+	}
+	if cfg.Telemetry != nil {
+		tel := cfg.Telemetry
+		b := telemetry.Bindings{
+			Now:      eng.Now,
+			Scheme:   string(cfg.Scheme),
+			Regions:  cfg.Spec.RegionNames(),
+			Services: cfg.Spec.ServiceNames(),
+			Cluster: func() (float64, float64, float64, bool) {
+				cs, ok := meter.LastCluster()
+				return float64(cs.Total), float64(budget.Cap()), cs.Util, ok
+			},
+			Migrations: orch.Migrations,
+		}
+		if res.Fridge != nil {
+			b.Controller = res.Fridge
+			b.Alpha, b.Beta = res.Fridge.Alpha, res.Fridge.Beta
+		}
+		if err := tel.Bind(b); err != nil {
+			return nil, err
+		}
+		col.OnFinish = tel.ObserveResponse
+		col.OnSpan = func(s trace.Span) { tel.ObserveServiceExec(s.Service, s.Exec()) }
+		// Registered after the control loop so a shared instant samples
+		// post-tick state; telemetry only reads, so the extra calendar
+		// entries shift seq numbers without reordering anything else.
+		eng.Every(tel.Interval(), tel.Sample)
 	}
 	if len(cfg.TrackFreqOf) > 0 {
 		eng.Every(cfg.MeterInterval, func() {

@@ -9,6 +9,7 @@ import (
 	"servicefridge/internal/metrics"
 	"servicefridge/internal/obs"
 	"servicefridge/internal/orchestrator"
+	"servicefridge/internal/telemetry"
 	"servicefridge/internal/workload"
 )
 
@@ -24,6 +25,14 @@ import (
 // 80% budget under a low→high→medium load swing, with one injected
 // container crash mid-run so the failure path appears in the stream.
 func eventRun(seed uint64) (*engine.Result, *obs.Recorder) {
+	return canonicalRun(seed, nil)
+}
+
+// canonicalRun is the shared body of the instrumented-run exports: the
+// controller event stream (-events) and the telemetry time series
+// (-timeseries) come from the same scenario, so the two artifacts line up
+// instant for instant. tel may be nil.
+func canonicalRun(seed uint64, tel *telemetry.Telemetry) (*engine.Result, *obs.Recorder) {
 	rec := obs.NewRecorder(0)
 	res := engine.Build(engine.Config{
 		Seed:           seed,
@@ -36,9 +45,10 @@ func eventRun(seed uint64) (*engine.Result, *obs.Recorder) {
 			{Duration: 20 * time.Second, Workers: 25},
 			{Duration: 20 * time.Second, Workers: 10},
 		},
-		Warmup:   5 * time.Second,
-		Duration: 55 * time.Second,
-		Events:   rec,
+		Warmup:    5 * time.Second,
+		Duration:  55 * time.Second,
+		Events:    rec,
+		Telemetry: tel,
 	})
 	res.Orch.SetFailurePolicy(orchestrator.FailurePolicy{
 		AutoRestart:  true,
@@ -133,4 +143,14 @@ func eventTables(records []obs.Record) []*metrics.Table {
 func ExportEventsJSONL(seed uint64, w io.Writer) error {
 	_, rec := eventRun(seed)
 	return rec.WriteJSONL(w)
+}
+
+// ExportTimeseriesCSV runs the canonical instrumented scenario with
+// telemetry bound and writes the sampled time series as CSV. Like the
+// event export it is a pure function of the seed: the CI determinism gate
+// diffs it across -parallel widths.
+func ExportTimeseriesCSV(seed uint64, w io.Writer) error {
+	tel := telemetry.New(telemetry.Options{})
+	canonicalRun(seed, tel)
+	return tel.WriteCSV(w)
 }

@@ -20,6 +20,7 @@ var extensions = []Experiment{
 	{"ext-openloop", "Extension: open-loop tail latency under an 80% budget", ExtOpenLoop},
 	{"ext-events", "Extension: controller event timeline (Figure-13-style narrative)", ExtEvents},
 	{"ext-critpath", "Extension: critical-path blame attribution vs MCF ranking (Kendall tau)", ExtCritPath},
+	{"ext-slo", "Extension: SLO time-to-violation and headroom vs power budget", ExtSLO},
 }
 
 // Extensions returns the beyond-the-paper experiments.

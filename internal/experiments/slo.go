@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"servicefridge/internal/engine"
+	"servicefridge/internal/metrics"
+	"servicefridge/internal/telemetry"
+)
+
+// ExtSLO sweeps the power budget under open-loop load and asks the SLO
+// monitor, per scheme: when does the p95 target first break, what
+// fraction of the evaluated run is spent in violation, and how much
+// budget headroom remained at the moment of the first violation? The last
+// column is the operator's early-warning signal — a scheme that violates
+// while headroom remains is wasting budget on non-critical work, which is
+// precisely the failure mode ServiceFridge's criticality zones target.
+func ExtSLO(seed uint64) []*metrics.Table {
+	const (
+		warmup   = 5 * time.Second
+		duration = 20 * time.Second
+		target   = telemetry.DefaultSLOTarget
+	)
+	// Calibrate like ext-openloop: offer 80% of the baseline closed-loop
+	// throughput, so the uncapped system is comfortably stable and any
+	// violation is attributable to the budget, not the load.
+	base := engine.Config{
+		Seed:        seed,
+		PoolWorkers: studyPools(),
+		Warmup:      warmup,
+		Duration:    15 * time.Second,
+	}
+	cal := engine.Run(base)
+	window := cal.Engine.Now().Sub(cal.WarmupEnd).Seconds()
+	rateA := 0.8 * float64(cal.Summary("A").Count) / window
+	rateB := 0.8 * float64(cal.Summary("B").Count) / window
+	maxReq := engine.CalibrateMaxRequired(base)
+
+	type combo struct {
+		scheme engine.SchemeName
+		budget float64
+	}
+	var combos []combo
+	budgets := []float64{1.0, 0.9, 0.85, 0.8, 0.75}
+	for _, s := range engine.AllSchemes() {
+		for _, b := range budgets {
+			combos = append(combos, combo{s, b})
+		}
+	}
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("Extension: SLO violations (all-regions p95 > %v) vs power budget, open-loop A %.1f/s B %.1f/s",
+			target, rateA, rateB),
+		"scheme", "budget", "first violation", "violation time", "headroom then")
+	rows := parMap(combos, func(c combo) []any {
+		tel := telemetry.New(telemetry.Options{
+			SLO: telemetry.SLOOptions{Target: target, Grace: warmup},
+		})
+		engine.Run(engine.Config{
+			Seed:           seed,
+			Scheme:         c.scheme,
+			BudgetFraction: c.budget,
+			MaxRequired:    maxReq,
+			OpenLoopRate:   map[string]float64{"A": rateA, "B": rateB},
+			Warmup:         warmup,
+			Duration:       duration,
+			Telemetry:      tel,
+		})
+		all := tel.SLOReport()[0]
+		first, headroom := "never", "-"
+		violation := "0.0%"
+		if all.FirstViolation >= 0 {
+			first = fmt.Sprintf("t=%.0fs", all.FirstViolation.Seconds())
+			if all.HasHeadroom {
+				headroom = fmt.Sprintf("%.1fW", all.HeadroomAtFirst)
+			}
+		}
+		if all.EvalTicks > 0 {
+			violation = pct(float64(all.ViolationTicks) / float64(all.EvalTicks))
+		}
+		return []any{string(c.scheme), pct(c.budget), first, violation, headroom}
+	})
+	for _, row := range rows {
+		tb.Rowf(row...)
+	}
+	return []*metrics.Table{tb}
+}

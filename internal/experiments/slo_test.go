@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtSLORegistered(t *testing.T) {
+	if _, ok := ByID("ext-slo"); !ok {
+		t.Fatal("ext-slo not registered")
+	}
+}
+
+func TestExtSLOTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full budget sweep")
+	}
+	tables := ExtSLO(1)
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	tb := tables[0]
+	// One row per capped scheme x budget point.
+	if tb.NumRows() != 4*5 {
+		t.Fatalf("got %d rows, want 20:\n%s", tb.NumRows(), tb)
+	}
+	out := tb.String()
+	for _, want := range []string{"ServiceFridge", "Capping", "75.0%", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// An unconstrained budget over load calibrated to 80% of closed-loop
+	// throughput must not violate a 100ms p95.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "100.0%") && !strings.Contains(line, "never") {
+			t.Fatalf("violation at full budget:\n%s", line)
+		}
+	}
+}
+
+// TestExportTimeseriesCSVDeterministic is the per-run half of the CI gate
+// that diffs -timeseries exports across -parallel widths.
+func TestExportTimeseriesCSVDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the canonical scenario twice")
+	}
+	export := func() []byte {
+		var buf bytes.Buffer
+		if err := ExportTimeseriesCSV(7, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different timeseries CSV")
+	}
+	lines := strings.Split(strings.TrimRight(string(a), "\n"), "\n")
+	// 60s canonical scenario sampled once per second, plus the header.
+	if len(lines) != 61 {
+		t.Fatalf("got %d CSV lines, want 61", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t_s,power_w,") {
+		t.Fatalf("unexpected CSV header: %s", lines[0])
+	}
+}

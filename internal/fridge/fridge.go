@@ -100,6 +100,12 @@ type Fridge struct {
 	zoneFreq    map[Zone]cluster.GHz
 	levels      map[string]core.Criticality
 
+	// lastMCF caches this tick's FreqMax MCF (the value servicesAt,
+	// assignZones and migrate all rank by), computed once per Tick into a
+	// reused map. hasMCF is false until the first tick that saw load.
+	lastMCF map[string]float64
+	hasMCF  bool
+
 	ticks      uint64
 	promotions uint64
 	demotions  uint64
@@ -183,6 +189,74 @@ func (f *Fridge) ZoneServers(z Zone) []*cluster.Server {
 // ZoneFreq returns a zone's current frequency setting.
 func (f *Fridge) ZoneFreq(z Zone) cluster.GHz { return f.zoneFreq[z] }
 
+// ZonePowerInto sums each zone's latest per-server meter samples into
+// out, indexed by Zone (Hot, Warm, Cold). It reports false before the
+// first classified tick; it never allocates, so the telemetry sampler can
+// call it every tick.
+func (f *Fridge) ZonePowerInto(out *[3]float64) bool {
+	if !f.hasMCF {
+		return false
+	}
+	for _, z := range []Zone{Hot, Warm, Cold} {
+		var w float64
+		for _, s := range f.zoneServers[z] {
+			if smp, ok := f.ctx.Meter.LastServer(s.Name()); ok {
+				w += float64(smp.Power)
+			}
+		}
+		out[z] = w
+	}
+	return true
+}
+
+// ZoneFreqsInto writes each zone's current frequency setting (GHz) into
+// out, indexed by Zone. It reports false before the first classified
+// tick and never allocates.
+func (f *Fridge) ZoneFreqsInto(out *[3]float64) bool {
+	if !f.hasMCF {
+		return false
+	}
+	for _, z := range []Zone{Hot, Warm, Cold} {
+		out[z] = float64(f.zoneFreq[z])
+	}
+	return true
+}
+
+// WarmUtilization returns the warm zone's mean measured utilization — the
+// live value Algorithm 1 compares against Alpha and Beta. It reports
+// false when the warm zone is empty or unsampled.
+func (f *Fridge) WarmUtilization() (float64, bool) {
+	warm := f.zoneServers[Warm]
+	if len(warm) == 0 {
+		return 0, false
+	}
+	var sum float64
+	sampled := 0
+	for _, s := range warm {
+		if smp, ok := f.ctx.Meter.LastServer(s.Name()); ok {
+			sum += smp.Util
+			sampled++
+		}
+	}
+	if sampled == 0 {
+		return 0, false
+	}
+	return sum / float64(sampled), true
+}
+
+// MCFInto writes this tick's cached normalized MCF for each named service
+// into out (out[i] for services[i]); unknown services read 0. It reports
+// false before the first classified tick and never allocates.
+func (f *Fridge) MCFInto(services []string, out []float64) bool {
+	if !f.hasMCF || len(out) < len(services) {
+		return false
+	}
+	for i, s := range services {
+		out[i] = f.lastMCF[s]
+	}
+	return true
+}
+
 // WrapLauncher interposes the fridge on the request path so the indegree
 // counters observe every request arrival and completion — the scheduling
 // engine insertion of Figure 9.
@@ -223,13 +297,18 @@ func (f *Fridge) Tick() {
 		return
 	}
 
+	// The FreqMax MCF every placement decision below ranks by, computed
+	// once per tick into a reused map.
+	f.lastMCF = f.calc.MCFInto(load, cluster.FreqMax, f.lastMCF)
+	f.hasMCF = true
+
 	// 1. Classify from MCF, then apply Algorithm 1 adjustments.
 	base := f.classifier.Classify(load)
 	f.baseLevels = base
 	f.levels = f.applyAdjust(base)
 
 	// 2. Size and assign zones.
-	f.assignZones(load)
+	f.assignZones()
 	f.recordZones()
 
 	// 3. Migrate services to their zones.
@@ -306,9 +385,10 @@ func (f *Fridge) applyAdjust(base map[string]core.Criticality) map[string]core.C
 }
 
 // servicesAt returns the function services at a level, sorted by
-// descending MCF so heavy services spread across zone servers first.
-func (f *Fridge) servicesAt(lvl core.Criticality, load map[string]float64) []string {
-	mcf := f.calc.MCF(load, cluster.FreqMax)
+// descending MCF (this tick's cached FreqMax values) so heavy services
+// spread across zone servers first.
+func (f *Fridge) servicesAt(lvl core.Criticality) []string {
+	mcf := f.lastMCF
 	var out []string
 	for s, l := range f.levels {
 		if l == lvl {
@@ -327,7 +407,7 @@ func (f *Fridge) servicesAt(lvl core.Criticality, load map[string]float64) []str
 // assignZones partitions the worker servers across zones proportionally to
 // each level's aggregate MCF demand (Figure 9's hot/warm/cold server
 // numbers). The manager node always belongs to the cold zone.
-func (f *Fridge) assignZones(load map[string]float64) {
+func (f *Fridge) assignZones() {
 	var workers []*cluster.Server
 	var manager *cluster.Server
 	for _, s := range f.ctx.Cluster.Servers() {
@@ -338,7 +418,7 @@ func (f *Fridge) assignZones(load map[string]float64) {
 		}
 	}
 	n := len(workers)
-	mcf := f.calc.MCF(load, cluster.FreqMax)
+	mcf := f.lastMCF
 	demand := map[Zone]float64{}
 	for s, lvl := range f.levels {
 		demand[zoneOf(lvl)] += mcf[s]
@@ -458,11 +538,10 @@ var placementFallback = map[Zone][]Zone{
 // there), so two heavy services never share a node while another idles.
 // A service already on an acceptable server stays put to limit churn.
 func (f *Fridge) migrate() {
-	load := f.load()
-	mcf := f.calc.MCF(load, cluster.FreqMax)
+	mcf := f.lastMCF
 	assigned := map[string]float64{} // server -> accumulated MCF
 	for _, lvl := range []core.Criticality{core.High, core.Uncertain, core.Low} {
-		services := f.servicesAt(lvl, load)
+		services := f.servicesAt(lvl)
 		servers := f.zoneForPlacement(zoneOf(lvl))
 		if len(servers) == 0 {
 			continue
@@ -563,8 +642,7 @@ func (f *Fridge) recordMigration(svc string, z Zone, targets []*cluster.Server) 
 // level, releasing cold-zone capacity when the budget cannot be met by
 // throttling the hot and warm zones alone.
 func (f *Fridge) demoteForPower() {
-	load := f.load()
-	high := f.servicesAt(core.High, load)
+	high := f.servicesAt(core.High)
 	if len(high) == 0 {
 		return
 	}

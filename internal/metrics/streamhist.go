@@ -110,6 +110,32 @@ func (h *StreamingHistogram) Mean() time.Duration {
 	return h.sum / time.Duration(h.count)
 }
 
+// Reset returns the histogram to its empty state without releasing its
+// (entirely inline) storage, so a recycled histogram records again with
+// zero allocations — the telemetry layer rotates sliding-window
+// sub-histograms through Reset every sampling tick.
+func (h *StreamingHistogram) Reset() { *h = StreamingHistogram{} }
+
+// Merge folds every sample of o into h. Counts are bucket-exact, so a
+// merged histogram answers Quantile exactly as if every sample had been
+// Added to h directly. Merging an empty histogram is a no-op.
+func (h *StreamingHistogram) Merge(o *StreamingHistogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+}
+
 // Quantile returns the q-quantile (q in [0,1]) with the same linear
 // interpolation between order statistics as sim.Quantile, each order
 // statistic resolved to the top of its bucket (clamped to the observed

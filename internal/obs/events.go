@@ -181,6 +181,62 @@ func (e Scale) appendFields(b []byte) []byte {
 	return appendInt(b, "to", int64(e.To))
 }
 
+// QoSViolation records the SLO monitor tripping: the watched quantile of
+// Series' sliding latency window has stayed above the target long enough
+// to clear the hysteresis. Values are in milliseconds to match the
+// experiment tables.
+type QoSViolation struct {
+	Series   string
+	Quantile string
+	ValueMs  float64
+	TargetMs float64
+}
+
+// Kind implements Event.
+func (QoSViolation) Kind() string { return "qos_violation" }
+
+func (e QoSViolation) appendFields(b []byte) []byte {
+	b = appendStr(b, "series", e.Series)
+	b = appendStr(b, "quantile", e.Quantile)
+	b = appendFloat(b, "value_ms", e.ValueMs)
+	return appendFloat(b, "target_ms", e.TargetMs)
+}
+
+// QoSRecovered records the SLO monitor clearing a prior QoSViolation for
+// Series after the watched quantile has stayed back under the target.
+type QoSRecovered struct {
+	Series   string
+	Quantile string
+	ValueMs  float64
+	TargetMs float64
+}
+
+// Kind implements Event.
+func (QoSRecovered) Kind() string { return "qos_recovered" }
+
+func (e QoSRecovered) appendFields(b []byte) []byte {
+	b = appendStr(b, "series", e.Series)
+	b = appendStr(b, "quantile", e.Quantile)
+	b = appendFloat(b, "value_ms", e.ValueMs)
+	return appendFloat(b, "target_ms", e.TargetMs)
+}
+
+// BudgetHeadroomLow records cluster power headroom dropping below the
+// monitor's warning fraction of the cap — the early signal that the next
+// load increase will force DVFS throttling.
+type BudgetHeadroomLow struct {
+	HeadroomW float64
+	CapW      float64
+}
+
+// Kind implements Event.
+func (BudgetHeadroomLow) Kind() string { return "budget_headroom_low" }
+
+func (e BudgetHeadroomLow) appendFields(b []byte) []byte {
+	b = appendFloat(b, "headroom_w", e.HeadroomW)
+	return appendFloat(b, "cap_w", e.CapW)
+}
+
 func appendStr(b []byte, key, val string) []byte {
 	b = append(b, ',', '"')
 	b = append(b, key...)

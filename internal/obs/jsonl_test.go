@@ -27,6 +27,9 @@ func goldenRecorder() *Recorder {
 	r.Emit(sec(3), Crash{Service: "config", Node: "serverD"})
 	r.Emit(sec(3.5), Restart{Service: "config", Node: "serverD"})
 	r.Emit(sec(4), Scale{Service: "seat", From: 1, To: 3})
+	r.Emit(sec(5), BudgetHeadroomLow{HeadroomW: 12.5, CapW: 350.5})
+	r.Emit(sec(5), QoSViolation{Series: "region:B", Quantile: "p95", ValueMs: 131.072, TargetMs: 100})
+	r.Emit(sec(6), QoSRecovered{Series: "region:B", Quantile: "p95", ValueMs: 88.25, TargetMs: 100})
 	return r
 }
 
@@ -86,8 +89,8 @@ func TestJSONLIsValidJSONAndMonotonic(t *testing.T) {
 		}
 		lastAt, lastSeq = m.At, m.Seq
 	}
-	if lastSeq != 9 {
-		t.Fatalf("expected 10 lines, last seq %d", lastSeq)
+	if lastSeq != 12 {
+		t.Fatalf("expected 13 lines, last seq %d", lastSeq)
 	}
 }
 

@@ -69,6 +69,57 @@ func TestTimelineBucketsAndCarriesState(t *testing.T) {
 	}
 }
 
+// TestTimelineOverWrappedRecorder folds a stream whose oldest instants
+// were overwritten by ring wraparound: the timeline must start at the
+// first *retained* instant, count only retained events, and keep
+// cumulative counters consistent with what survived (the recorder cannot
+// resurrect dropped decisions).
+func TestTimelineOverWrappedRecorder(t *testing.T) {
+	sec := func(s float64) sim.Time { return sim.Time(time.Duration(s * float64(time.Second))) }
+	r := NewRecorder(6)
+	// Ticks 1-2 will be fully overwritten; tick 2's snapshot is lost too,
+	// so carried-forward state must come from retained records only.
+	r.Emit(sec(1), ZoneReassign{Zone: "hot", Servers: []string{"a", "b"}})
+	r.Emit(sec(1), Migration{Service: "old", From: "a", To: "b", Zone: "hot"})
+	r.Emit(sec(2), Migration{Service: "old2", From: "b", To: "a", Zone: "hot"})
+	r.Emit(sec(2), Promote{Service: "old2", Level: "high", Reason: "warm-util-high"})
+	// Retained window: ticks 3-5.
+	r.Emit(sec(3), ZoneReassign{Zone: "hot", Servers: []string{"c"}})
+	r.Emit(sec(3), PowerSample{Zone: "cluster", Watts: 280, Budget: 300})
+	r.Emit(sec(4), Migration{Service: "new", From: "c", To: "d", Zone: "hot"})
+	r.Emit(sec(4), QoSViolation{Series: "all", Quantile: "p95", ValueMs: 140, TargetMs: 100})
+	r.Emit(sec(5), QoSRecovered{Series: "all", Quantile: "p95", ValueMs: 90, TargetMs: 100})
+	r.Emit(sec(5), BudgetHeadroomLow{HeadroomW: 5, CapW: 300})
+	if r.Dropped() != 4 {
+		t.Fatalf("Dropped = %d, want 4", r.Dropped())
+	}
+
+	tl := Timeline(r.Events())
+	if len(tl) != 3 {
+		t.Fatalf("got %d buckets, want 3 (retained instants only)", len(tl))
+	}
+	t3 := tl[0]
+	if t3.At != sec(3) || t3.Events != 2 {
+		t.Fatalf("first retained bucket = at %v, %d events", t3.At, t3.Events)
+	}
+	if t3.ZonePop["hot"] != 1 || t3.PowerW != 280 {
+		t.Fatalf("bucket 3 state %v / %v: must reflect retained records only", t3.ZonePop, t3.PowerW)
+	}
+	t4 := tl[1]
+	// Dropped migrations from ticks 1-2 must not inflate the cumulative
+	// counter over the retained stream.
+	if t4.Migrations != 1 || t4.CumMigrations != 1 {
+		t.Fatalf("bucket 4 migrations %d cum %d, want 1/1", t4.Migrations, t4.CumMigrations)
+	}
+	if t4.QoSViolations != 1 || t4.SLOActive != 1 {
+		t.Fatalf("bucket 4 QoS %d active %d, want 1/1", t4.QoSViolations, t4.SLOActive)
+	}
+	t5 := tl[2]
+	if t5.QoSRecoveries != 1 || t5.SLOActive != 0 || t5.HeadroomAlerts != 1 {
+		t.Fatalf("bucket 5 = %+v: recovery must clear the active SLO count", t5)
+	}
+}
+
 func TestTimelineEmpty(t *testing.T) {
 	if tl := Timeline(nil); tl != nil {
 		t.Fatalf("Timeline(nil) = %v, want nil", tl)

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV writes the retained sample rows oldest-first as deterministic
+// CSV: fixed column order derived from the bound region/service lists,
+// shortest-round-trip float formatting, empty cells for fields that were
+// not yet observable (before the first meter window or controller tick).
+// Two runs with equal seeds produce byte-identical exports — the CI
+// determinism job diffs them across worker-pool widths.
+func (t *Telemetry) WriteCSV(w io.Writer) error {
+	var b []byte
+	b = append(b, "t_s,power_w,budget_w,headroom_w,util"...)
+	b = append(b, ",zone_hot_w,zone_warm_w,zone_cold_w,zone_hot_ghz,zone_warm_ghz,zone_cold_ghz"...)
+	b = append(b, ",warm_util,alpha,beta"...)
+	b = append(b, ",migrations,promotions,demotions,requests,slo_active,qos_violations_total"...)
+	b = append(b, ",all_count,all_p50_ms,all_p95_ms,all_p99_ms"...)
+	for _, r := range t.b.Regions {
+		for _, col := range [...]string{"_count", "_p50_ms", "_p95_ms", "_p99_ms"} {
+			b = append(b, ',')
+			b = append(b, "region_"...)
+			b = append(b, r...)
+			b = append(b, col...)
+		}
+	}
+	for _, s := range t.b.Services {
+		b = append(b, ",svc_"...)
+		b = append(b, s...)
+		b = append(b, "_p95_ms,svc_"...)
+		b = append(b, s...)
+		b = append(b, "_mcf"...)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+
+	for i := 0; i < t.n; i++ {
+		row := &t.samples[(t.start+i)%len(t.samples)]
+		b = appendRow(b[:0], row)
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendRow(b []byte, s *Sample) []byte {
+	b = appendF(b, float64(s.At)/1e9)
+	if s.HasCluster {
+		b = append(b, ',')
+		b = appendF(b, s.PowerW)
+		b = append(b, ',')
+		b = appendF(b, s.BudgetW)
+		b = append(b, ',')
+		b = appendF(b, s.HeadroomW)
+		b = append(b, ',')
+		b = appendF(b, s.Util)
+	} else {
+		b = append(b, ",,,,"...)
+	}
+	if s.HasZones {
+		for z := range ZoneNames {
+			b = append(b, ',')
+			b = appendF(b, s.ZoneW[z])
+		}
+		for z := range ZoneNames {
+			b = append(b, ',')
+			b = appendF(b, s.ZoneGHz[z])
+		}
+	} else {
+		b = append(b, ",,,,,,"...)
+	}
+	if s.HasWarm {
+		b = append(b, ',')
+		b = appendF(b, s.WarmUtil)
+		b = append(b, ',')
+		b = appendF(b, s.Alpha)
+		b = append(b, ',')
+		b = appendF(b, s.Beta)
+	} else {
+		b = append(b, ",,,"...)
+	}
+	b = append(b, ',')
+	b = strconv.AppendUint(b, s.Migrations, 10)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, s.Promotions, 10)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, s.Demotions, 10)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, s.Requests, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(s.SLOActive), 10)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, s.QoSViolationsTotal, 10)
+	b = appendSeries(b, &s.All)
+	for i := range s.Regions {
+		b = appendSeries(b, &s.Regions[i])
+	}
+	for i := range s.Services {
+		st := &s.Services[i]
+		if st.Count > 0 {
+			b = append(b, ',')
+			b = appendF(b, ms(st.P95))
+		} else {
+			b = append(b, ',')
+		}
+		if s.HasMCF {
+			b = append(b, ',')
+			b = appendF(b, s.MCF[i])
+		} else {
+			b = append(b, ',')
+		}
+	}
+	return append(b, '\n')
+}
+
+func appendSeries(b []byte, st *SeriesStats) []byte {
+	b = append(b, ',')
+	b = strconv.AppendUint(b, st.Count, 10)
+	if st.Count == 0 {
+		return append(b, ",,,"...)
+	}
+	b = append(b, ',')
+	b = appendF(b, ms(st.P50))
+	b = append(b, ',')
+	b = appendF(b, ms(st.P95))
+	b = append(b, ',')
+	b = appendF(b, ms(st.P99))
+	return b
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// appendF appends the shortest round-trippable decimal form —
+// deterministic for a given bit pattern, matching the obs JSONL encoder.
+func appendF(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}

@@ -141,6 +141,13 @@ type Collector struct {
 	all      series
 	byRegion map[string]*series
 
+	// OnSpan and OnFinish, when non-nil, are invoked synchronously from
+	// AddSpan and FinishTrace respectively — the live-telemetry taps. They
+	// observe the same values the collector records and must not call back
+	// into the collector.
+	OnSpan   func(s Span)
+	OnFinish func(region string, resp time.Duration)
+
 	// slab batches Trace allocations; spanPool recycles span backing
 	// arrays of finished traces when KeepSpans is off.
 	slab     []Trace
@@ -239,6 +246,9 @@ func (c *Collector) AddSpan(t *Trace, s Span) {
 	}
 	t.Spans = append(t.Spans, s)
 	c.execByService[s.Service] = append(c.execByService[s.Service], s.Exec())
+	if c.OnSpan != nil {
+		c.OnSpan(s)
+	}
 }
 
 // FinishTrace closes the trace at time at and records it.
@@ -264,6 +274,9 @@ func (c *Collector) FinishTrace(t *Trace, at sim.Time) {
 		c.byRegion[t.Region] = rs
 	}
 	rs.add(at, resp)
+	if c.OnFinish != nil {
+		c.OnFinish(t.Region, resp)
+	}
 }
 
 // Traces returns all completed traces in completion order.
