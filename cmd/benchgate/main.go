@@ -15,9 +15,11 @@
 //     first and latest trajectory entries — the regression lock for the
 //     zero-allocation simulation core ("fig15:0.20" demands the latest
 //     fig15 regeneration be at least 20% faster than the first recorded
-//     one). Entries measured under a different GOMAXPROCS than the
-//     baseline are recorded but not judged, since wall-clock across
-//     machine shapes is not comparable.
+//     one). A "+"-joined id ("fig14+fig15:0.30") sums the member
+//     experiments' sequential times in both entries and judges the
+//     combined wall-clock. Entries measured under a different GOMAXPROCS
+//     than the baseline are recorded but not judged, since wall-clock
+//     across machine shapes is not comparable.
 //
 //  3. With -bench-out, microbenchmark output from `go test -bench
 //     -benchmem` against the ceilings committed in bench_gates.json:
@@ -49,6 +51,7 @@ type entry struct {
 	SequentialSeconds float64            `json:"sequential_seconds"`
 	ParallelSeconds   float64            `json:"parallel_seconds"`
 	Speedup           float64            `json:"speedup"`
+	WarmStart         bool               `json:"warmstart,omitempty"`
 	PerExperimentSeq  map[string]float64 `json:"per_experiment_sequential_seconds"`
 }
 
@@ -116,9 +119,13 @@ func readTrajectory(file string) ([]entry, error) {
 
 func gateSpeedup(trajectory []entry, floor float64) bool {
 	last := trajectory[len(trajectory)-1]
-	fmt.Printf("benchgate: %s — %d experiments, sequential %.2fs, parallel %.2fs (%d workers), speedup %.3fx\n",
+	mode := ""
+	if last.WarmStart {
+		mode = ", warm-started sweeps"
+	}
+	fmt.Printf("benchgate: %s — %d experiments, sequential %.2fs, parallel %.2fs (%d workers), speedup %.3fx%s\n",
 		last.Benchmark, last.Experiments, last.SequentialSeconds,
-		last.ParallelSeconds, last.ParallelWorkers, last.Speedup)
+		last.ParallelSeconds, last.ParallelWorkers, last.Speedup, mode)
 	if last.SequentialSeconds <= 0 || last.ParallelSeconds <= 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: latest entry has non-positive timings")
 		return false
@@ -137,9 +144,24 @@ func gateSpeedup(trajectory []entry, floor float64) bool {
 	return true
 }
 
+// sumExperiments adds up the sequential seconds of every member id,
+// reporting false if any member is missing from the entry.
+func sumExperiments(per map[string]float64, ids []string) (float64, bool) {
+	var total float64
+	for _, id := range ids {
+		v, has := per[id]
+		if !has {
+			return 0, false
+		}
+		total += v
+	}
+	return total, true
+}
+
 // gateImprovements checks "id:frac" demands: the latest trajectory entry
 // must regenerate experiment id at least frac faster (in sequential
-// wall-clock) than the first entry that measured it.
+// wall-clock) than the first entry that measured it. A "+"-joined id sums
+// its members' times on both sides before comparing.
 func gateImprovements(trajectory []entry, spec string) bool {
 	latest := trajectory[len(trajectory)-1]
 	ok := true
@@ -156,21 +178,22 @@ func gateImprovements(trajectory []entry, spec string) bool {
 			ok = false
 			continue
 		}
-		// Baseline: the first entry that measured this experiment.
+		members := strings.Split(id, "+")
+		// Baseline: the first entry that measured every member.
 		var base *entry
 		for i := range trajectory {
-			if _, has := trajectory[i].PerExperimentSeq[id]; has {
+			if _, has := sumExperiments(trajectory[i].PerExperimentSeq, members); has {
 				base = &trajectory[i]
 				break
 			}
 		}
-		after, has := latest.PerExperimentSeq[id]
+		after, has := sumExperiments(latest.PerExperimentSeq, members)
 		if base == nil || !has {
 			fmt.Fprintf(os.Stderr, "benchgate: no trajectory measurements for %s\n", id)
 			ok = false
 			continue
 		}
-		before := base.PerExperimentSeq[id]
+		before, _ := sumExperiments(base.PerExperimentSeq, members)
 		if base == &trajectory[len(trajectory)-1] {
 			fmt.Printf("benchgate: %s has a single measurement (%.2fs); improvement gate idle until the next entry\n",
 				id, before)

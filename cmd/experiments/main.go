@@ -8,6 +8,7 @@
 //	experiments -run all,ext     # paper plus the extension studies
 //	experiments -seed 7 -run fig6
 //	experiments -run all -parallel 8
+//	experiments -run fig15 -warmstart
 //	experiments -run all -events events.jsonl
 //	experiments -run ext-slo -timeseries telemetry.csv
 //	experiments -run ext-critpath -traces traces.json -trace-sample 0.05
@@ -17,7 +18,10 @@
 // across experiments and across within-figure cells; tables print in
 // paper order and are byte-identical to a sequential (-parallel 1) run
 // for the same seed. Timing lines go to stderr so stdout stays
-// deterministic. -events additionally executes the canonical
+// deterministic. -warmstart makes the budget-sweep figures (fig14, fig15,
+// ext-slo) run their shared warmup once per cell group and fork each sweep
+// cell from an in-memory snapshot; output stays byte-identical to a cold
+// run at the same seed. -events additionally executes the canonical
 // instrumented run (see internal/experiments.ExportEventsJSONL) and
 // writes its controller event stream as JSONL; -traces executes the
 // canonical study run and writes its request traces as Zipkin v2 JSON,
@@ -52,6 +56,8 @@ func run() int {
 		format   = flag.String("format", "table", "output format: table or csv")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max concurrent simulation runs (1 = sequential)")
+		warmstart = flag.Bool("warmstart", false,
+			"fork budget-sweep cells from one warmed-up snapshot per group (byte-identical output, less wall clock)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the regeneration to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile (post-regeneration) to this file")
 		exports    cliutil.ExportFlags
@@ -103,6 +109,7 @@ func run() int {
 	}
 
 	experiments.SetParallelism(*parallel)
+	experiments.SetWarmStart(*warmstart)
 	start := time.Now()
 	failed := false
 	experiments.RunAll(todo, *seed, func(r experiments.RunResult) {

@@ -6,12 +6,19 @@
 //	fridge -scheme ServiceFridge -budget 0.8 -workers 50 -mixA 30 -mixB 20 -duration 30s
 //	fridge -scheme ServiceFridge -budget 0.8 -timeseries run.csv
 //	fridge -scheme ServiceFridge -budget 0.8 -listen :8080   # live /metrics
+//	fridge -scheme ServiceFridge -sweep 1.0,0.9,0.8,0.75 -warmstart
 //
 // With -listen the process serves Prometheus text-format /metrics, a JSON
 // /status snapshot, and /healthz while the simulation runs, and keeps
 // serving the final snapshot after the results print until interrupted.
 // Serving is read-only off an atomically published snapshot, so scraping
 // never perturbs the (deterministic) run.
+//
+// With -sweep the command runs one cell per budget fraction and prints a
+// compact comparison table instead of the single-run report. Adding
+// -warmstart simulates the shared warmup once, snapshots the engine at the
+// budget-independence barrier, and forks every cell from that snapshot —
+// the numbers are byte-identical to cold runs, only the wall clock drops.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -49,6 +57,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		appFlag  = flag.String("app", "study", "application: study (8 services, 2 regions) or full (42 services, 6 regions)")
 		specPath = flag.String("spec", "", "JSON application profile (overrides -app)")
+		sweep    = flag.String("sweep", "", "comma-separated budget fractions to sweep (overrides -budget); prints one row per cell")
+		warm     = flag.Bool("warmstart", false, "with -sweep: simulate warmup once and fork each cell from a snapshot (byte-identical results)")
 		exports  cliutil.ExportFlags
 		telFlags cliutil.TelemetryFlags
 	)
@@ -73,6 +83,24 @@ func main() {
 		Duration:       *duration,
 		KeepSpans:      exports.Traces != "",
 	}
+
+	if *sweep != "" {
+		if exports.Events != "" || exports.Traces != "" || telFlags.Timeseries != "" || telFlags.Listen != "" {
+			fmt.Fprintln(os.Stderr, "fridge: -sweep does not combine with exports or -listen")
+			os.Exit(1)
+		}
+		fracs, err := parseSweep(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := runSweep(cfg, fracs, *warm); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if exports.Events != "" {
 		cfg.Events = obs.NewRecorder(0)
 	}
@@ -192,4 +220,73 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 	}
+}
+
+func parseSweep(s string) ([]float64, error) {
+	var fracs []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fridge: bad -sweep fraction %q: %v", part, err)
+		}
+		fracs = append(fracs, f)
+	}
+	return fracs, nil
+}
+
+// runSweep executes one cell per budget fraction and prints a comparison
+// table. Warm start simulates the shared warmup once, snapshots at the
+// budget-independence barrier, and replays each cell as restore → retarget
+// → finish; cold runs each cell from scratch. Both produce identical rows.
+func runSweep(cfg engine.Config, fracs []float64, warm bool) error {
+	regions := cfg.Spec.RegionNames()
+	cols := []string{"budget", "cap"}
+	for _, r := range regions {
+		cols = append(cols, "p95 "+r)
+	}
+	cols = append(cols, "violations", "migrations")
+	tb := metrics.NewTable(fmt.Sprintf("Budget sweep (%s, %d workers)", cfg.Scheme, cfg.Workers), cols...)
+
+	row := func(res *engine.Result, frac float64) {
+		over := 0
+		samples := res.Meter.ClusterSamples()
+		for _, cs := range samples {
+			if res.Budget.Violated(cs.Total) {
+				over++
+			}
+		}
+		vals := []any{fmt.Sprintf("%.0f%%", frac*100), fmt.Sprintf("%.1fW", float64(res.Budget.Cap()))}
+		for _, r := range regions {
+			vals = append(vals, res.Summary(r).P95)
+		}
+		vals = append(vals, fmt.Sprintf("%d/%d", over, len(samples)), res.Orch.Migrations())
+		tb.Rowf(vals...)
+	}
+
+	if warm {
+		donor, err := engine.BuildE(cfg)
+		if err != nil {
+			return err
+		}
+		donor.Engine.RunUntil(donor.WarmBarrier())
+		snap := donor.Snapshot()
+		for _, frac := range fracs {
+			donor.Restore(snap)
+			donor.SetBudgetFraction(frac)
+			donor.Finish()
+			row(donor, frac)
+		}
+	} else {
+		for _, frac := range fracs {
+			c := cfg
+			c.BudgetFraction = frac
+			res, err := engine.RunE(c)
+			if err != nil {
+				return err
+			}
+			row(res, frac)
+		}
+	}
+	fmt.Println(tb)
+	return nil
 }

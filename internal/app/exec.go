@@ -27,6 +27,11 @@ func (f PlacementFunc) HostFor(service string) *cluster.Server { return f(servic
 // request walks its region's stages: the API-layer job first, then each
 // stage's calls with their per-call concurrency bounds, recording a span
 // per invocation into the trace collector.
+//
+// Request state lives in pooled request/callRun/invocation objects rather
+// than closure chains: the steady-state hot path allocates nothing, and the
+// live object sets are enumerable, which is what makes the executor
+// snapshot/restorable for warm-started sweeps.
 type Executor struct {
 	eng   *sim.Engine
 	spec  *Spec
@@ -40,6 +45,62 @@ type Executor struct {
 
 	launched  uint64
 	completed uint64
+
+	// live sets (index-tracked, swap-removed) and free pools.
+	liveReqs  []*request
+	liveCalls []*callRun
+	liveInvs  []*invocation
+	freeReqs  []*request
+	freeCalls []*callRun
+	freeInvs  []*invocation
+}
+
+// request is one in-flight end-to-end request: the API invocation followed
+// by the region's stages.
+type request struct {
+	x       *Executor
+	liveIdx int
+
+	region    *Region
+	tr        *trace.Trace
+	onDone    func(*trace.Trace)
+	stage     int // current stage index (-1 while the API job runs)
+	stageLeft int // calls of the current stage not yet complete
+}
+
+// callRun drives one Call of a stage: Times invocations with at most
+// Concurrency in flight.
+type callRun struct {
+	x       *Executor
+	liveIdx int
+
+	req               *request
+	call              Call
+	issued, completed int
+}
+
+// invocation is a single microservice invocation: the network hop, the
+// cluster job, and the span bookkeeping. The cluster.Job is embedded (not
+// allocated per invocation) and the submit/OnStart/OnDone callbacks are
+// built once per object and reused across pool recycles — they capture
+// only the invocation pointer itself.
+type invocation struct {
+	x       *Executor
+	liveIdx int
+
+	req     *request // owner when this is the region's API invocation
+	cr      *callRun // owner when this is a stage-call invocation
+	tr      *trace.Trace
+	service string
+	ms      *Microservice
+	demand  time.Duration
+
+	host               *cluster.Server
+	submitted, started sim.Time
+	startGHz           float64
+
+	job      cluster.Job
+	submitFn sim.Handler
 }
 
 // NewExecutor builds an executor. rng should be a dedicated sub-stream.
@@ -70,79 +131,83 @@ func (x *Executor) Launch(regionName string, onDone func(*trace.Trace)) {
 		panic(fmt.Sprintf("app: Launch on unknown region %q", regionName))
 	}
 	x.launched++
-	tr := x.col.StartTrace(regionName, x.eng.Now())
-	finish := func() {
-		x.completed++
-		x.col.FinishTrace(tr, x.eng.Now())
-		if onDone != nil {
-			onDone(tr)
-		}
-	}
+	req := x.acquireReq()
+	req.region = r
+	req.tr = x.col.StartTrace(regionName, x.eng.Now())
+	req.onDone = onDone
+	req.stage, req.stageLeft = -1, 0
 	// The API-layer service performs its own task first, then drives the
 	// stages and waits for them (§2.1: upper-level services "not only
 	// perform their own tasks, but also wait for the return of the
 	// lower-level microservices").
-	x.invoke(tr, r.API, r.APIExec, func() {
-		x.runStage(tr, r, 0, finish)
-	})
+	x.invoke(req, nil, req.tr, r.API, r.APIExec)
 }
 
-func (x *Executor) runStage(tr *trace.Trace, r *Region, idx int, done func()) {
-	if idx >= len(r.Stages) {
-		done()
+// startStage begins stage idx of the request, issuing every call's initial
+// concurrent invocations; past the last stage the request finishes.
+func (r *request) startStage(idx int) {
+	x := r.x
+	stages := r.region.Stages
+	for idx < len(stages) && len(stages[idx]) == 0 {
+		idx++
+	}
+	if idx >= len(stages) {
+		r.finish()
 		return
 	}
-	stage := r.Stages[idx]
-	if len(stage) == 0 {
-		x.runStage(tr, r, idx+1, done)
+	r.stage = idx
+	r.stageLeft = len(stages[idx])
+	for i := range stages[idx] {
+		c := stages[idx][i]
+		cr := x.acquireCall()
+		cr.req = r
+		cr.call = c
+		cr.issued, cr.completed = 0, 0
+		conc := c.Concurrency
+		if conc < 1 {
+			conc = 1
+		}
+		if conc > c.Times {
+			conc = c.Times
+		}
+		for k := 0; k < conc; k++ {
+			cr.issueNext()
+		}
+	}
+}
+
+// callDone marks one of the current stage's calls complete, advancing to
+// the next stage when the last one lands.
+func (r *request) callDone() {
+	r.stageLeft--
+	if r.stageLeft == 0 {
+		r.startStage(r.stage + 1)
+	}
+}
+
+func (r *request) finish() {
+	x := r.x
+	x.completed++
+	x.col.FinishTrace(r.tr, x.eng.Now())
+	onDone, tr := r.onDone, r.tr
+	x.releaseReq(r)
+	if onDone != nil {
+		onDone(tr)
+	}
+}
+
+// issueNext launches the call's next invocation unless all have been issued.
+func (cr *callRun) issueNext() {
+	if cr.issued >= cr.call.Times {
 		return
 	}
-	remaining := len(stage)
-	onCall := func() {
-		remaining--
-		if remaining == 0 {
-			x.runStage(tr, r, idx+1, done)
-		}
-	}
-	for _, c := range stage {
-		x.runCall(tr, c, onCall)
-	}
+	cr.issued++
+	cr.x.invoke(nil, cr, cr.req.tr, cr.call.Service, cr.call.Exec)
 }
 
-// runCall issues c.Times invocations of c.Service with at most
-// c.Concurrency in flight, calling done when the last completes.
-func (x *Executor) runCall(tr *trace.Trace, c Call, done func()) {
-	conc := c.Concurrency
-	if conc < 1 {
-		conc = 1
-	}
-	if conc > c.Times {
-		conc = c.Times
-	}
-	issued, completed := 0, 0
-	var next func()
-	next = func() {
-		if issued >= c.Times {
-			return
-		}
-		issued++
-		x.invoke(tr, c.Service, c.Exec, func() {
-			completed++
-			if completed == c.Times {
-				done()
-				return
-			}
-			next()
-		})
-	}
-	for k := 0; k < conc; k++ {
-		next()
-	}
-}
-
-// invoke runs one invocation of service with the given mean demand,
-// recording a span and calling onDone at completion.
-func (x *Executor) invoke(tr *trace.Trace, service string, meanExec time.Duration, onDone func()) {
+// invoke starts one invocation of service with the given mean demand on
+// behalf of req (API layer) or cr (stage call).
+func (x *Executor) invoke(req *request, cr *callRun, tr *trace.Trace, service string, meanExec time.Duration) {
 	ms := x.spec.Service(service)
 	if ms == nil {
 		panic(fmt.Sprintf("app: invoke of unknown service %q", service))
@@ -151,38 +216,138 @@ func (x *Executor) invoke(tr *trace.Trace, service string, meanExec time.Duratio
 	if ms.Jitter > 0 {
 		demand = time.Duration(x.rng.LogNormal(float64(meanExec), ms.Jitter*float64(meanExec)))
 	}
-	submit := func() {
-		host := x.place.HostFor(service)
-		if host == nil {
-			panic(fmt.Sprintf("app: service %q has no placed instance", service))
-		}
-		submitted := x.eng.Now()
-		var started sim.Time
-		var startGHz float64
-		host.Submit(&cluster.Job{
-			Tag:      service,
-			Demand:   demand,
-			Slowdown: ms.Slowdown(),
-			OnStart: func() {
-				started = x.eng.Now()
-				startGHz = float64(host.Freq())
-			},
-			OnDone: func() {
-				x.col.AddSpan(tr, trace.Span{
-					Service: service,
-					Host:    host.Name(),
-					Submit:  submitted,
-					Start:   started,
-					End:     x.eng.Now(),
-					FreqGHz: startGHz,
-				})
-				onDone()
-			},
-		})
-	}
+	inv := x.acquireInv()
+	inv.req, inv.cr, inv.tr = req, cr, tr
+	inv.service, inv.ms, inv.demand = service, ms, demand
 	if x.NetDelay > 0 {
-		x.eng.Schedule(x.NetDelay, submit)
+		x.eng.Schedule(x.NetDelay, inv.submitFn)
 	} else {
-		submit()
+		inv.submit()
 	}
+}
+
+func (inv *invocation) submit() {
+	x := inv.x
+	host := x.place.HostFor(inv.service)
+	if host == nil {
+		panic(fmt.Sprintf("app: service %q has no placed instance", inv.service))
+	}
+	inv.host = host
+	inv.submitted = x.eng.Now()
+	inv.job.Tag = inv.service
+	inv.job.Demand = inv.demand
+	inv.job.Slowdown = inv.ms.Slowdown()
+	host.Submit(&inv.job)
+}
+
+func (inv *invocation) onStart() {
+	inv.started = inv.x.eng.Now()
+	inv.startGHz = float64(inv.host.Freq())
+}
+
+func (inv *invocation) onDone() {
+	x := inv.x
+	x.col.AddSpan(inv.tr, trace.Span{
+		Service: inv.service,
+		Host:    inv.host.Name(),
+		Submit:  inv.submitted,
+		Start:   inv.started,
+		End:     x.eng.Now(),
+		FreqGHz: inv.startGHz,
+	})
+	req, cr := inv.req, inv.cr
+	x.releaseInv(inv)
+	if cr != nil {
+		cr.completed++
+		if cr.completed == cr.call.Times {
+			r := cr.req
+			x.releaseCall(cr)
+			r.callDone()
+			return
+		}
+		cr.issueNext()
+		return
+	}
+	// The API-layer job finished: drive the stages.
+	req.startStage(0)
+}
+
+// --- pools -----------------------------------------------------------------
+
+func (x *Executor) acquireReq() *request {
+	var r *request
+	if n := len(x.freeReqs); n > 0 {
+		r = x.freeReqs[n-1]
+		x.freeReqs[n-1] = nil
+		x.freeReqs = x.freeReqs[:n-1]
+	} else {
+		r = &request{x: x}
+	}
+	r.liveIdx = len(x.liveReqs)
+	x.liveReqs = append(x.liveReqs, r)
+	return r
+}
+
+func (x *Executor) releaseReq(r *request) {
+	n := len(x.liveReqs) - 1
+	last := x.liveReqs[n]
+	x.liveReqs[r.liveIdx] = last
+	last.liveIdx = r.liveIdx
+	x.liveReqs[n] = nil
+	x.liveReqs = x.liveReqs[:n]
+	r.region, r.tr, r.onDone = nil, nil, nil
+	x.freeReqs = append(x.freeReqs, r)
+}
+
+func (x *Executor) acquireCall() *callRun {
+	var c *callRun
+	if n := len(x.freeCalls); n > 0 {
+		c = x.freeCalls[n-1]
+		x.freeCalls[n-1] = nil
+		x.freeCalls = x.freeCalls[:n-1]
+	} else {
+		c = &callRun{x: x}
+	}
+	c.liveIdx = len(x.liveCalls)
+	x.liveCalls = append(x.liveCalls, c)
+	return c
+}
+
+func (x *Executor) releaseCall(c *callRun) {
+	n := len(x.liveCalls) - 1
+	last := x.liveCalls[n]
+	x.liveCalls[c.liveIdx] = last
+	last.liveIdx = c.liveIdx
+	x.liveCalls[n] = nil
+	x.liveCalls = x.liveCalls[:n]
+	c.req = nil
+	x.freeCalls = append(x.freeCalls, c)
+}
+
+func (x *Executor) acquireInv() *invocation {
+	var inv *invocation
+	if n := len(x.freeInvs); n > 0 {
+		inv = x.freeInvs[n-1]
+		x.freeInvs[n-1] = nil
+		x.freeInvs = x.freeInvs[:n-1]
+	} else {
+		inv = &invocation{x: x}
+		inv.submitFn = inv.submit
+		inv.job.OnStart = inv.onStart
+		inv.job.OnDone = inv.onDone
+	}
+	inv.liveIdx = len(x.liveInvs)
+	x.liveInvs = append(x.liveInvs, inv)
+	return inv
+}
+
+func (x *Executor) releaseInv(inv *invocation) {
+	n := len(x.liveInvs) - 1
+	last := x.liveInvs[n]
+	x.liveInvs[inv.liveIdx] = last
+	last.liveIdx = inv.liveIdx
+	x.liveInvs[n] = nil
+	x.liveInvs = x.liveInvs[:n]
+	inv.req, inv.cr, inv.tr, inv.ms, inv.host = nil, nil, nil, nil, nil
+	x.freeInvs = append(x.freeInvs, inv)
 }

@@ -70,11 +70,19 @@ type Microservice struct {
 	Jitter float64
 	// DB names the paired database service, if any.
 	DB string
+
+	// slowdown caches the β curve so the per-invocation hot path never
+	// re-closes over CPUShare. Built by AddService; rebuilt lazily for
+	// hand-constructed values.
+	slowdown cluster.SlowdownFunc
 }
 
 // Slowdown returns the service's β curve as a cluster.SlowdownFunc.
 func (m *Microservice) Slowdown() cluster.SlowdownFunc {
-	return cluster.LinearSlowdown(m.CPUShare)
+	if m.slowdown == nil {
+		m.slowdown = cluster.LinearSlowdown(m.CPUShare)
+	}
+	return m.slowdown
 }
 
 // Beta returns the execution-time inflation factor at frequency f relative
@@ -210,6 +218,7 @@ func (s *Spec) AddService(m Microservice) *Microservice {
 		panic(fmt.Sprintf("app: service %q CPUShare %v outside [0,1]", m.Name, m.CPUShare))
 	}
 	cp := m
+	cp.slowdown = cluster.LinearSlowdown(cp.CPUShare)
 	s.services[m.Name] = &cp
 	s.serviceOrder = append(s.serviceOrder, m.Name)
 	return &cp

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClampFreqRoundTripExhaustive audits the ClampFreq rounding over the
+// whole ladder: every P-state must survive a clamp bit-identically, and
+// walking the ladder with StepDown/StepUp must land exactly on the
+// canonical values — never on a float neighbor like 1.7999999999999998
+// that would break == comparisons and map keys downstream.
+func TestClampFreqRoundTripExhaustive(t *testing.T) {
+	states := PStates()
+	if len(states) != 13 {
+		t.Fatalf("ladder has %d states, want 13", len(states))
+	}
+	for _, f := range states {
+		if got := ClampFreq(f); got != f {
+			t.Errorf("ClampFreq(%v) = %b, want bit-identical %b", f, float64(got), float64(f))
+		}
+	}
+
+	// Accumulated-arithmetic round trip: stepping down from the top and
+	// back up must visit each canonical state exactly.
+	f := FreqMax
+	for i := len(states) - 2; i >= 0; i-- {
+		f = StepDown(f)
+		if f != states[i] {
+			t.Fatalf("StepDown walk reached %b, want %b", float64(f), float64(states[i]))
+		}
+	}
+	if f != FreqMin {
+		t.Fatalf("full StepDown walk ended at %v, want FreqMin", f)
+	}
+	for i := 1; i < len(states); i++ {
+		f = StepUp(f)
+		if f != states[i] {
+			t.Fatalf("StepUp walk reached %b, want %b", float64(f), float64(states[i]))
+		}
+	}
+
+	// Saturation at the ladder ends.
+	if got := StepDown(FreqMin); got != FreqMin {
+		t.Errorf("StepDown(FreqMin) = %v, want FreqMin", got)
+	}
+	if got := StepUp(FreqMax); got != FreqMax {
+		t.Errorf("StepUp(FreqMax) = %v, want FreqMax", got)
+	}
+
+	// Perturbed inputs (float noise around each state) must snap back to
+	// the canonical value, and out-of-range inputs must clamp.
+	for _, f := range states {
+		for _, eps := range []float64{1e-9, -1e-9, 0.049, -0.049} {
+			in := GHz(float64(f) + eps)
+			want := f
+			if in <= FreqMin {
+				want = FreqMin
+			}
+			if in >= FreqMax {
+				want = FreqMax
+			}
+			if got := ClampFreq(in); got != want {
+				t.Errorf("ClampFreq(%v+%g) = %b, want %b", f, eps, float64(got), float64(want))
+			}
+		}
+	}
+	if got := ClampFreq(0.3); got != FreqMin {
+		t.Errorf("ClampFreq(0.3) = %v, want FreqMin", got)
+	}
+	if got := ClampFreq(5); got != FreqMax {
+		t.Errorf("ClampFreq(5) = %v, want FreqMax", got)
+	}
+
+	// The naive computation the comment warns about: 13 accumulated 0.1
+	// additions produce a non-canonical float; ClampFreq must repair it.
+	acc := 1.2
+	for i := 0; i < 12; i++ {
+		acc += 0.1
+	}
+	if GHz(acc) == FreqMax {
+		t.Fatal("accumulated float happens to be exact; perturbation test is vacuous")
+	}
+	if got := ClampFreq(GHz(acc)); got != FreqMax {
+		t.Errorf("ClampFreq(accumulated 2.4) = %b, want %b", float64(got), float64(FreqMax))
+	}
+	if math.Round(acc*10)/10 != 2.4 {
+		t.Errorf("rounding check: %b does not round to 2.4", acc)
+	}
+}

@@ -56,6 +56,9 @@ type Job struct {
 	since     sim.Time      // when remaining was last recomputed
 	timer     sim.Timer
 	running   bool
+	// busyCell caches the server's per-tag busy accumulator for this job's
+	// Tag, so accruing busy time never hashes the tag string.
+	busyCell *time.Duration
 }
 
 func (j *Job) slowdownAt(f GHz) float64 {
@@ -80,12 +83,18 @@ type Server struct {
 	cores int
 	freq  GHz
 
-	running map[*Job]struct{}
+	// running holds in-flight jobs in start order. A slice (not a map)
+	// keeps SetFreq's reschedule order deterministic: rescheduling assigns
+	// fresh calendar sequence numbers, and map iteration would assign them
+	// in a different order every run.
+	running []*Job
 	queue   []*Job
 
-	// busy accounting: cumulative core-busy time, total and per tag.
+	// busy accounting: cumulative core-busy time, total and per tag. The
+	// per-tag accumulators are boxed so jobs can cache a pointer to their
+	// tag's cell (Job.busyCell); a box, once created, is never replaced.
 	busyTotal  time.Duration
-	busyByTag  map[string]time.Duration
+	busyByTag  map[string]*time.Duration
 	lastUpdate sim.Time
 
 	// completedJobs counts jobs fully served, for tests and reports.
@@ -106,8 +115,7 @@ func NewServer(eng *sim.Engine, name string, role Role, cores int) *Server {
 		role:      role,
 		cores:     cores,
 		freq:      FreqMax,
-		running:   make(map[*Job]struct{}),
-		busyByTag: make(map[string]time.Duration),
+		busyByTag: make(map[string]*time.Duration),
 	}
 }
 
@@ -142,8 +150,8 @@ func (s *Server) accrueBusy() {
 	if now > s.lastUpdate && len(s.running) > 0 {
 		dt := now.Sub(s.lastUpdate)
 		s.busyTotal += dt * time.Duration(len(s.running))
-		for j := range s.running {
-			s.busyByTag[j.Tag] += dt
+		for _, j := range s.running {
+			*j.busyCell += dt
 		}
 	}
 	s.lastUpdate = now
@@ -158,7 +166,10 @@ func (s *Server) BusyCoreTime() time.Duration {
 // BusyCoreTimeByTag returns cumulative busy time attributed to tag.
 func (s *Server) BusyCoreTimeByTag(tag string) time.Duration {
 	s.accrueBusy()
-	return s.busyByTag[tag]
+	if cell := s.busyByTag[tag]; cell != nil {
+		return *cell
+	}
+	return 0
 }
 
 // Tags returns all tags that have accumulated busy time, in no particular
@@ -190,7 +201,13 @@ func (s *Server) start(j *Job) {
 	j.factor = j.slowdownAt(s.freq)
 	j.since = s.eng.Now()
 	j.running = true
-	s.running[j] = struct{}{}
+	cell := s.busyByTag[j.Tag]
+	if cell == nil {
+		cell = new(time.Duration)
+		s.busyByTag[j.Tag] = cell
+	}
+	j.busyCell = cell
+	s.running = append(s.running, j)
 	if j.OnStart != nil {
 		j.OnStart()
 	}
@@ -204,7 +221,14 @@ func (s *Server) scheduleCompletion(j *Job) {
 
 func (s *Server) complete(j *Job) {
 	s.accrueBusy()
-	delete(s.running, j)
+	for i, r := range s.running {
+		if r == j {
+			copy(s.running[i:], s.running[i+1:])
+			s.running[len(s.running)-1] = nil
+			s.running = s.running[:len(s.running)-1]
+			break
+		}
+	}
 	j.running = false
 	j.remaining = 0
 	s.completedJobs++
@@ -232,7 +256,7 @@ func (s *Server) SetFreq(f GHz) {
 	}
 	s.accrueBusy()
 	now := s.eng.Now()
-	for j := range s.running {
+	for _, j := range s.running {
 		// Work completed since the last reschedule, in unscaled units.
 		elapsed := now.Sub(j.since)
 		done := time.Duration(float64(elapsed) / j.factor)

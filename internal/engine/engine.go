@@ -256,7 +256,10 @@ type Result struct {
 	Pools     map[string]*workload.ClosedLoop
 	OpenLoops map[string]*workload.OpenLoop
 	Fridge    *fridge.Fridge // nil unless the scheme is ServiceFridge
-	Budget    power.Budget
+	// Budget is the run's shared budget instance; the scheme context, the
+	// meter's BudgetFn and the telemetry bindings all read through this
+	// pointer, so SetBudgetFraction retargets every consumer at once.
+	Budget *power.Budget
 	// WarmupEnd is the cut before which latencies are discarded.
 	WarmupEnd sim.Time
 	// FreqSeries holds tracked per-service frequency traces.
@@ -363,7 +366,8 @@ func BuildE(cfg Config) (*Result, error) {
 
 	model := power.DefaultModel()
 	meter := power.NewMeter(cl, model, cfg.MeterInterval)
-	budget := power.NewBudget(model, cl.Size(), cfg.BudgetFraction)
+	budgetVal := power.NewBudget(model, cl.Size(), cfg.BudgetFraction)
+	budget := &budgetVal
 	budget.Base = cfg.MaxRequired
 	if cfg.Events != nil {
 		orch.Rec = cfg.Events

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"servicefridge/internal/app"
+	"servicefridge/internal/cluster"
+	"servicefridge/internal/fridge"
+	"servicefridge/internal/obs"
+	"servicefridge/internal/orchestrator"
+	"servicefridge/internal/power"
+	"servicefridge/internal/sim"
+	"servicefridge/internal/telemetry"
+	"servicefridge/internal/trace"
+	"servicefridge/internal/workload"
+)
+
+// RunState is a complete snapshot of a built run's mutable state, taken
+// with Result.Snapshot and rewound with Result.Restore. It composes the
+// per-package snapshots of every stateful component: the simulation
+// calendar, cluster, orchestrator, meter, trace collector, executor,
+// workload generators, the optional Fridge/Telemetry/Events instrumentation
+// and the budget.
+//
+// A RunState is immutable once taken — Restore only reads it — so one
+// warmed-up run can be forked any number of times: snapshot after warmup,
+// then for each sweep cell restore, retune (e.g. SetBudgetFraction) and
+// Finish. Every fork replays exactly the events a cold run with the same
+// configuration would execute, byte-identical outputs included.
+type RunState struct {
+	eng     *sim.EngineState
+	cluster *cluster.ClusterState
+	orch    *orchestrator.State
+	meter   *power.MeterState
+	col     *trace.CollectorState
+	exec    *app.ExecState
+	gen     workload.ClosedLoopState
+	pools   map[string]workload.ClosedLoopState
+	open    map[string]workload.OpenLoopState
+	fridge  *fridge.State      // nil unless the scheme is ServiceFridge
+	tel     *telemetry.State   // nil unless Config.Telemetry is bound
+	events  *obs.RecorderState // nil unless Config.Events records
+	budget  power.Budget
+	freq    map[string][]FreqPoint
+}
+
+// Now returns the simulation time the snapshot was taken at.
+func (s *RunState) Now() sim.Time { return s.eng.Now() }
+
+// Snapshot captures the run's complete state at the current simulation
+// time. FreqSeries rows are append-only and never mutated, so the capture
+// keeps slice headers; everything mutated in place is deep-copied by the
+// component snapshots.
+func (r *Result) Snapshot() *RunState {
+	s := &RunState{
+		eng:     r.Engine.Snapshot(),
+		cluster: r.Cluster.Snapshot(),
+		orch:    r.Orch.Snapshot(),
+		meter:   r.Meter.Snapshot(),
+		col:     r.Collector.Snapshot(),
+		exec:    r.Executor.Snapshot(),
+		gen:     r.Gen.Snapshot(),
+		pools:   make(map[string]workload.ClosedLoopState, len(r.Pools)),
+		open:    make(map[string]workload.OpenLoopState, len(r.OpenLoops)),
+		events:  r.Config.Events.Snapshot(),
+		budget:  *r.Budget,
+		freq:    make(map[string][]FreqPoint, len(r.FreqSeries)),
+	}
+	for region, pool := range r.Pools {
+		s.pools[region] = pool.Snapshot()
+	}
+	for region, ol := range r.OpenLoops {
+		s.open[region] = ol.Snapshot()
+	}
+	if r.Fridge != nil {
+		s.fridge = r.Fridge.Snapshot()
+	}
+	if r.Config.Telemetry != nil {
+		s.tel = r.Config.Telemetry.Snapshot()
+	}
+	for svc, pts := range r.FreqSeries {
+		s.freq[svc] = pts
+	}
+	return s
+}
+
+// Restore rewinds the run to a snapshot previously taken from it. The
+// snapshot must come from this same Result: restore works by writing saved
+// values back into the live object graph, because the calendar's event
+// closures capture pointers into it. Memoized latency statistics are
+// dropped (ResetStats) since the collector store rewinds.
+func (r *Result) Restore(s *RunState) {
+	r.Engine.Restore(s.eng)
+	r.Cluster.Restore(s.cluster)
+	r.Orch.Restore(s.orch)
+	r.Meter.Restore(s.meter)
+	r.Collector.Restore(s.col)
+	r.Executor.Restore(s.exec)
+	r.Gen.Restore(s.gen)
+	for region, pool := range r.Pools {
+		pool.Restore(s.pools[region])
+	}
+	for region, ol := range r.OpenLoops {
+		ol.Restore(s.open[region])
+	}
+	if r.Fridge != nil {
+		r.Fridge.Restore(s.fridge)
+	}
+	if r.Config.Telemetry != nil {
+		r.Config.Telemetry.Restore(s.tel)
+	}
+	r.Config.Events.Restore(s.events)
+	*r.Budget = s.budget
+	r.Config.BudgetFraction = s.budget.Fraction
+	clear(r.FreqSeries)
+	for svc, pts := range s.freq {
+		r.FreqSeries[svc] = pts
+	}
+	r.ResetStats()
+}
+
+// SetBudgetFraction retargets the run's power budget in place. The scheme
+// context, the meter's budget recording and the telemetry bindings all read
+// the shared Budget instance, so the new cap takes effect on the next
+// control tick. Warm-started sweeps call this between Restore and Finish to
+// turn one warmed-up run into one sweep cell per fraction.
+func (r *Result) SetBudgetFraction(fraction float64) {
+	r.Budget.SetFraction(fraction)
+	r.Config.BudgetFraction = r.Budget.Fraction
+}
+
+// WarmBarrier returns the last simulation instant at which the run's state
+// is still provably independent of the budget fraction — the latest safe
+// snapshot point for a budget sweep. The fraction is first read at the
+// first control tick (ControlInterval); instrumented runs also read it at
+// the first meter emission (MeterInterval, when Events records) and the
+// first telemetry sample (Telemetry.Interval). One nanosecond before the
+// earliest of those, nothing budget-dependent has executed yet.
+func (r *Result) WarmBarrier() sim.Time {
+	cfg := r.Config
+	barrier := cfg.ControlInterval
+	if cfg.Events != nil && cfg.MeterInterval < barrier {
+		barrier = cfg.MeterInterval
+	}
+	if cfg.Telemetry != nil && cfg.Telemetry.Interval() < barrier {
+		barrier = cfg.Telemetry.Interval()
+	}
+	return sim.Time(barrier) - 1
+}
+
+// Finish executes a built (or restored) run to completion: the clock
+// advances to Warmup+Duration (or the phase schedule's end, if longer) and
+// the generators stop. It is the second half of Build+Finish == Run, and
+// the replay step of a warm-started fork.
+func (r *Result) Finish() { finish(r) }

@@ -11,9 +11,9 @@ import (
 // fig15Budgets is the x-axis of Figure 15.
 var fig15Budgets = []float64{1.0, 0.95, 0.90, 0.85, 0.80, 0.75}
 
-// compareRun executes one scheme/budget cell of the §6.4 comparison.
-func compareRun(seed uint64, scheme engine.SchemeName, budget float64, keepSpans bool) *engine.Result {
-	return engine.Run(engine.Config{
+// compareConfig is one scheme/budget cell of the §6.4 comparison.
+func compareConfig(seed uint64, scheme engine.SchemeName, budget float64, keepSpans bool) engine.Config {
+	return engine.Config{
 		Seed:           seed,
 		Scheme:         scheme,
 		BudgetFraction: budget,
@@ -22,7 +22,12 @@ func compareRun(seed uint64, scheme engine.SchemeName, budget float64, keepSpans
 		Warmup:         5 * time.Second,
 		Duration:       25 * time.Second,
 		KeepSpans:      keepSpans,
-	})
+	}
+}
+
+// compareRun executes one scheme/budget cell of the §6.4 comparison.
+func compareRun(seed uint64, scheme engine.SchemeName, budget float64, keepSpans bool) *engine.Result {
+	return engine.Run(compareConfig(seed, scheme, budget, keepSpans))
 }
 
 // Figure15 reproduces the headline comparison: mean and tail response
@@ -42,13 +47,39 @@ func Figure15(seed uint64) []*metrics.Table {
 			cells = append(cells, cell{scheme, b})
 		}
 	}
-	summaries := parMap(cells, func(c cell) map[string]metrics.Summary {
-		res := compareRun(seed, c.scheme, c.budget, false)
+	regionSummaries := func(res *engine.Result) map[string]metrics.Summary {
 		return map[string]metrics.Summary{
 			"A": res.Summary("A"),
 			"B": res.Summary("B"),
 		}
-	})
+	}
+	var summaries []map[string]metrics.Summary
+	if WarmStart() {
+		// One donor per scheme; the budget cells fork off its snapshot.
+		type group struct {
+			scheme  engine.SchemeName
+			budgets []float64
+		}
+		groups := []group{{engine.Baseline, []float64{1.0}}}
+		for _, scheme := range engine.AllSchemes() {
+			groups = append(groups, group{scheme, fig15Budgets})
+		}
+		perGroup := parMap(groups, func(g group) []map[string]metrics.Summary {
+			donor := engine.Build(compareConfig(seed, g.scheme, g.budgets[0], false))
+			return forkEach(donor, g.budgets,
+				func(res *engine.Result, b float64) { res.SetBudgetFraction(b) },
+				func(res *engine.Result, _ float64) map[string]metrics.Summary {
+					return regionSummaries(res)
+				})
+		})
+		for _, gs := range perGroup {
+			summaries = append(summaries, gs...)
+		}
+	} else {
+		summaries = parMap(cells, func(c cell) map[string]metrics.Summary {
+			return regionSummaries(compareRun(seed, c.scheme, c.budget, false))
+		})
+	}
 	base := summaries[0]
 
 	var tables []*metrics.Table

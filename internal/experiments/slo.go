@@ -49,15 +49,8 @@ func ExtSLO(seed uint64) []*metrics.Table {
 		}
 	}
 
-	tb := metrics.NewTable(
-		fmt.Sprintf("Extension: SLO violations (all-regions p95 > %v) vs power budget, open-loop A %.1f/s B %.1f/s",
-			target, rateA, rateB),
-		"scheme", "budget", "first violation", "violation time", "headroom then")
-	rows := parMap(combos, func(c combo) []any {
-		tel := telemetry.New(telemetry.Options{
-			SLO: telemetry.SLOOptions{Target: target, Grace: warmup},
-		})
-		engine.Run(engine.Config{
+	comboConfig := func(c combo, tel *telemetry.Telemetry) engine.Config {
+		return engine.Config{
 			Seed:           seed,
 			Scheme:         c.scheme,
 			BudgetFraction: c.budget,
@@ -66,7 +59,14 @@ func ExtSLO(seed uint64) []*metrics.Table {
 			Warmup:         warmup,
 			Duration:       duration,
 			Telemetry:      tel,
+		}
+	}
+	newTel := func() *telemetry.Telemetry {
+		return telemetry.New(telemetry.Options{
+			SLO: telemetry.SLOOptions{Target: target, Grace: warmup},
 		})
+	}
+	report := func(tel *telemetry.Telemetry, c combo) []any {
 		all := tel.SLOReport()[0]
 		first, headroom := "never", "-"
 		violation := "0.0%"
@@ -80,7 +80,40 @@ func ExtSLO(seed uint64) []*metrics.Table {
 			violation = pct(float64(all.ViolationTicks) / float64(all.EvalTicks))
 		}
 		return []any{string(c.scheme), pct(c.budget), first, violation, headroom}
-	})
+	}
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("Extension: SLO violations (all-regions p95 > %v) vs power budget, open-loop A %.1f/s B %.1f/s",
+			target, rateA, rateB),
+		"scheme", "budget", "first violation", "violation time", "headroom then")
+	var rows [][]any
+	if WarmStart() {
+		// One donor (and one bound telemetry instance) per scheme; each
+		// budget fork restores the telemetry alongside the simulation, so
+		// its report reads exactly like a cold run's.
+		perScheme := parMap(engine.AllSchemes(), func(s engine.SchemeName) [][]any {
+			var sc []combo
+			for _, c := range combos {
+				if c.scheme == s {
+					sc = append(sc, c)
+				}
+			}
+			tel := newTel()
+			donor := engine.Build(comboConfig(sc[0], tel))
+			return forkEach(donor, sc,
+				func(res *engine.Result, c combo) { res.SetBudgetFraction(c.budget) },
+				func(res *engine.Result, c combo) []any { return report(tel, c) })
+		})
+		for _, rs := range perScheme {
+			rows = append(rows, rs...)
+		}
+	} else {
+		rows = parMap(combos, func(c combo) []any {
+			tel := newTel()
+			engine.Run(comboConfig(c, tel))
+			return report(tel, c)
+		})
+	}
 	for _, row := range rows {
 		tb.Rowf(row...)
 	}

@@ -28,7 +28,7 @@ func harness(t *testing.T, fraction float64) (*sim.Engine, *Fridge, *schemes.Con
 	meter := power.NewMeter(cl, model, 100*time.Millisecond)
 	meter.Start()
 	budget := power.NewBudget(model, cl.Size(), fraction)
-	ctx := &schemes.Context{Cluster: cl, Meter: meter, Budget: budget, Orch: orch}
+	ctx := &schemes.Context{Cluster: cl, Meter: meter, Budget: &budget, Orch: orch}
 	return eng, New(ctx, spec), ctx
 }
 

@@ -212,6 +212,27 @@ func (h *WindowedHistogram) Quantile(q float64) time.Duration {
 	return out[0]
 }
 
+// Clone returns an independent deep copy of the window: the sub-histograms
+// are value types, so copying the slice contents shares no state with the
+// parent — mutating either side never shows in the other.
+func (h *WindowedHistogram) Clone() *WindowedHistogram {
+	return &WindowedHistogram{
+		subs: append([]StreamingHistogram(nil), h.subs...),
+		cur:  h.cur,
+	}
+}
+
+// CopyFrom overwrites this window's state with src's, without allocating
+// when the widths already match — the restore half of snapshot/restore.
+// It panics if the widths differ.
+func (h *WindowedHistogram) CopyFrom(src *WindowedHistogram) {
+	if len(h.subs) != len(src.subs) {
+		panic("metrics: WindowedHistogram.CopyFrom with mismatched widths")
+	}
+	copy(h.subs, src.subs)
+	h.cur = src.cur
+}
+
 // MergedInto folds every live sub-histogram into dst (after resetting it)
 // — the reference the fused walk is tested against, and a convenience for
 // offline consumers that want a full StreamingHistogram of the window.

@@ -38,8 +38,11 @@ type Scheme interface {
 type Context struct {
 	Cluster *cluster.Cluster
 	Meter   *power.Meter
-	Budget  power.Budget
-	Orch    *orchestrator.Orchestrator
+	// Budget is shared by reference: warm-started sweeps retarget the cap
+	// between forked cells with Budget.SetFraction and every scheme sees
+	// the new value on its next tick.
+	Budget *power.Budget
+	Orch   *orchestrator.Orchestrator
 	// Rec, when non-nil, receives the controller's decision events (zone
 	// splits, migrations, DVFS steps). A nil recorder disables recording;
 	// obs.Recorder methods are nil-safe, so schemes emit unconditionally.

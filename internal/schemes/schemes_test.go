@@ -36,7 +36,7 @@ func testContext(t *testing.T, fraction float64, busy int) (*sim.Engine, *Contex
 		}
 	}
 	budget := power.NewBudget(model, cl.Size(), fraction)
-	return eng, &Context{Cluster: cl, Meter: meter, Budget: budget, Orch: orch}
+	return eng, &Context{Cluster: cl, Meter: meter, Budget: &budget, Orch: orch}
 }
 
 func TestBaselineKeepsFreqMax(t *testing.T) {

@@ -20,6 +20,9 @@ type sloSeries struct {
 	hasHeadroom     bool
 	evalTicks       int
 	violationTicks  int
+	// emptyTicks counts consecutive empty-window ticks while active;
+	// reaching ClearTicks decays the violation (see evalSLO).
+	emptyTicks int
 }
 
 func newSLOSeries(name string) sloSeries {
@@ -52,9 +55,28 @@ func (t *Telemetry) evalSLO(now sim.Time, row *Sample) {
 	for i := range t.slo {
 		s := &t.slo[i]
 		if seriesCount(row, i) == 0 {
-			// An empty window is no evidence either way; hold state.
+			// An empty window is no evidence either way: counters hold
+			// (no evalTicks, no violationTicks). But an ACTIVE violation
+			// decays after ClearTicks consecutive empty windows — traffic
+			// that stopped entirely cannot evidence an ongoing violation,
+			// so the monitor fails toward "recovered" instead of latching
+			// Active=true over a window population of zero.
+			if s.active {
+				s.emptyTicks++
+				if s.emptyTicks >= o.ClearTicks {
+					s.active = false
+					s.over, s.under = 0, 0
+					t.active--
+					t.alerts.Emit(now, obs.QoSRecovered{
+						Series: s.name, Quantile: label,
+						ValueMs:  0,
+						TargetMs: durMs(target),
+					})
+				}
+			}
 			continue
 		}
+		s.emptyTicks = 0
 		s.evalTicks++
 		if s.watched > target {
 			s.over++
@@ -94,16 +116,24 @@ func (t *Telemetry) evalSLO(now sim.Time, row *Sample) {
 	}
 
 	// Budget headroom alarm: fires once on crossing under the warning
-	// fraction, re-arms only after recovering past twice the fraction.
+	// fraction, re-arms after recovering past twice the fraction. The
+	// re-arm threshold is clamped to the budget itself: headroom can never
+	// exceed BudgetW (draw is non-negative), so with HeadroomFrac >= 0.5
+	// an unclamped 2*warn would be unreachable and the alarm would fire
+	// once and stay dead for the rest of the run.
 	if row.HasCluster && row.BudgetW > 0 {
 		warn := o.HeadroomFrac * row.BudgetW
+		rearm := 2 * warn
+		if rearm > row.BudgetW {
+			rearm = row.BudgetW
+		}
 		switch {
 		case row.HeadroomW < warn && !t.headroomLow:
 			t.headroomLow = true
 			t.alerts.Emit(now, obs.BudgetHeadroomLow{
 				HeadroomW: row.HeadroomW, CapW: row.BudgetW,
 			})
-		case row.HeadroomW >= 2*warn:
+		case row.HeadroomW >= rearm:
 			t.headroomLow = false
 		}
 	}
@@ -128,6 +158,11 @@ type SeriesSLO struct {
 	HeadroomAtFirst float64
 	HasHeadroom     bool
 	// Active reports whether the series ended the run in violation.
+	// Empty windows (no completed responses) hold every counter — they
+	// are no evidence either way — but an active violation decays to
+	// inactive after ClearTicks consecutive empty windows: a series that
+	// trips and then sees traffic stop entirely ends the run inactive
+	// rather than latching a violation no window population supports.
 	Active bool
 }
 

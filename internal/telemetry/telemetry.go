@@ -50,7 +50,8 @@ type SLOOptions struct {
 	Grace time.Duration
 	// HeadroomFrac is the budget fraction under which a
 	// BudgetHeadroomLow alert fires (default 0.05); the alert re-arms
-	// once headroom recovers past twice the fraction.
+	// once headroom recovers past twice the fraction, clamped to the
+	// budget itself so fractions >= 0.5 still re-arm.
 	HeadroomFrac float64
 }
 

@@ -152,6 +152,11 @@ type Collector struct {
 	// arrays of finished traces when KeepSpans is off.
 	slab     []Trace
 	spanPool [][]Span
+
+	// openList tracks the open traces in start order so a snapshot can
+	// enumerate (and a restore rewind) in-flight requests. Traces finish
+	// roughly in start order, so the removal scan stays near the front.
+	openList []*Trace
 }
 
 // NewCollector returns an empty collector that retains spans.
@@ -228,6 +233,7 @@ func (c *Collector) StartTrace(region string, at sim.Time) *Trace {
 	t.ID = c.nextID
 	t.Region = region
 	t.Begin = at
+	c.openList = append(c.openList, t)
 	if !c.KeepSpans {
 		if n := len(c.spanPool); n > 0 {
 			t.Spans = c.spanPool[n-1]
@@ -259,6 +265,14 @@ func (c *Collector) FinishTrace(t *Trace, at sim.Time) {
 	t.Finish = at
 	t.done = true
 	c.open--
+	for i, o := range c.openList {
+		if o == t {
+			copy(c.openList[i:], c.openList[i+1:])
+			c.openList[len(c.openList)-1] = nil
+			c.openList = c.openList[:len(c.openList)-1]
+			break
+		}
+	}
 	if !c.KeepSpans {
 		if cap(t.Spans) > 0 {
 			c.spanPool = append(c.spanPool, t.Spans[:0])

@@ -1,0 +1,71 @@
+package workload
+
+import "servicefridge/internal/sim"
+
+// ClosedLoopState is a snapshot of a worker pool. The mix pointer is
+// captured as-is (Mix objects are immutable; phase schedules swap the
+// pointer, not the contents).
+type ClosedLoopState struct {
+	mix      *Mix
+	rng      sim.RNGState
+	target   int
+	alive    int
+	launched uint64
+	stopped  bool
+}
+
+// Snapshot captures the pool's state.
+func (c *ClosedLoop) Snapshot() ClosedLoopState {
+	return ClosedLoopState{
+		mix:      c.mix,
+		rng:      c.rng.State(),
+		target:   c.target,
+		alive:    c.alive,
+		launched: c.launched,
+		stopped:  c.stopped,
+	}
+}
+
+// Restore rewinds the pool to the snapshot. In-flight worker continuations
+// live in the engine calendar and executor state, which the caller
+// restores alongside.
+func (c *ClosedLoop) Restore(s ClosedLoopState) {
+	c.mix = s.mix
+	c.rng.SetState(s.rng)
+	c.target = s.target
+	c.alive = s.alive
+	c.launched = s.launched
+	c.stopped = s.stopped
+}
+
+// OpenLoopState is a snapshot of a Poisson generator.
+type OpenLoopState struct {
+	mix      *Mix
+	rng      sim.RNGState
+	rate     float64
+	launched uint64
+	running  bool
+	epoch    int
+}
+
+// Snapshot captures the generator's state.
+func (o *OpenLoop) Snapshot() OpenLoopState {
+	return OpenLoopState{
+		mix:      o.mix,
+		rng:      o.rng.State(),
+		rate:     o.rate,
+		launched: o.launched,
+		running:  o.running,
+		epoch:    o.epoch,
+	}
+}
+
+// Restore rewinds the generator to the snapshot.
+func (o *OpenLoop) Restore(s OpenLoopState) {
+	o.mix = s.mix
+	o.rng.SetState(s.rng)
+	o.rate = s.rate
+	o.launched = s.launched
+	o.running = s.running
+	o.epoch = s.epoch
+}
