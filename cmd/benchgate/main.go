@@ -27,10 +27,19 @@
 //     ns/op (generous ceilings that catch order-of-magnitude
 //     regressions without flaking on runner speed).
 //
+//  4. With -ratchet, the quality-ratchet: "fig14+fig15:0.10" finds the
+//     best-ever (lowest) sequential wall-clock for the id among
+//     comparable trajectory entries — same GOMAXPROCS and warm-start
+//     mode as the latest — and fails if the latest run regresses more
+//     than the given fraction above that high-water mark. Unlike
+//     -improve (first vs latest), the ratchet tightens itself: every
+//     faster run becomes the new mark to hold.
+//
 // Usage:
 //
 //	benchgate [-file BENCH_experiments.json] [-floor 1.0]
-//	          [-improve fig15:0.20] [-bench-out bench.txt] [-gates bench_gates.json]
+//	          [-improve fig15:0.20] [-ratchet fig14+fig15:0.10]
+//	          [-bench-out bench.txt] [-gates bench_gates.json]
 package main
 
 import (
@@ -75,6 +84,8 @@ func main() {
 		floor   = flag.Float64("floor", 1.0, "minimum acceptable sequential/parallel speedup")
 		improve = flag.String("improve", "",
 			"comma-separated per-experiment improvement demands, e.g. fig15:0.20 (latest vs first trajectory entry)")
+		ratchet = flag.String("ratchet", "",
+			"comma-separated quality-ratchet demands, e.g. fig14+fig15:0.10 (latest vs best-ever comparable trajectory entry)")
 		benchOut = flag.String("bench-out", "",
 			"output of `go test -bench -benchmem` to check against the gates file")
 		gatesFile = flag.String("gates", "bench_gates.json", "microbenchmark ceilings (allocs/op, ns/op)")
@@ -92,6 +103,9 @@ func main() {
 		failed = true
 	}
 	if *improve != "" && !gateImprovements(trajectory, *improve) {
+		failed = true
+	}
+	if *ratchet != "" && !gateRatchet(trajectory, *ratchet) {
 		failed = true
 	}
 	if *benchOut != "" && !gateMicrobenches(*benchOut, *gatesFile) {
@@ -213,6 +227,67 @@ func gateImprovements(trajectory []entry, spec string) bool {
 		}
 		fmt.Printf("benchgate: %s improved %.1f%% (%.2fs -> %.2fs), meets %.1f%% demand\n",
 			id, got*100, before, after, frac*100)
+	}
+	return ok
+}
+
+// gateRatchet checks "id:frac" demands against the trajectory's
+// high-water mark: the best (lowest) sequential wall-clock for id among
+// entries comparable to the latest — same GOMAXPROCS, same warm-start
+// mode — including the latest itself. The latest must stay within frac of
+// that best. Every faster run tightens the mark, so performance can only
+// ratchet forward.
+func gateRatchet(trajectory []entry, spec string) bool {
+	latest := &trajectory[len(trajectory)-1]
+	ok := true
+	for _, demand := range strings.Split(spec, ",") {
+		id, fracStr, found := strings.Cut(strings.TrimSpace(demand), ":")
+		if !found {
+			fmt.Fprintf(os.Stderr, "benchgate: malformed -ratchet entry %q (want id:fraction)\n", demand)
+			ok = false
+			continue
+		}
+		frac, err := strconv.ParseFloat(fracStr, 64)
+		if err != nil || frac <= 0 || frac >= 1 {
+			fmt.Fprintf(os.Stderr, "benchgate: bad ratchet fraction in %q\n", demand)
+			ok = false
+			continue
+		}
+		members := strings.Split(id, "+")
+		cur, has := sumExperiments(latest.PerExperimentSeq, members)
+		if !has {
+			fmt.Fprintf(os.Stderr, "benchgate: latest trajectory entry has no measurement for %s\n", id)
+			ok = false
+			continue
+		}
+		best, comparable := cur, 0
+		for i := range trajectory {
+			e := &trajectory[i]
+			if e.GoMaxProcs != latest.GoMaxProcs || e.WarmStart != latest.WarmStart {
+				continue
+			}
+			v, has := sumExperiments(e.PerExperimentSeq, members)
+			if !has {
+				continue
+			}
+			comparable++
+			if v < best {
+				best = v
+			}
+		}
+		if comparable <= 1 {
+			fmt.Printf("benchgate: %s has no comparable prior measurement (GOMAXPROCS=%d, warmstart=%v); ratchet records %.2fs as the mark\n",
+				id, latest.GoMaxProcs, latest.WarmStart, cur)
+			continue
+		}
+		if cur > best*(1+frac) {
+			fmt.Fprintf(os.Stderr, "benchgate: %s at %.2fs regressed %.1f%% above the %.2fs high-water mark (allowed %.0f%%)\n",
+				id, cur, (cur/best-1)*100, best, frac*100)
+			ok = false
+			continue
+		}
+		fmt.Printf("benchgate: %s at %.2fs holds the %.2fs high-water mark (within %.0f%%)\n",
+			id, cur, best, frac*100)
 	}
 	return ok
 }

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// traj builds a trajectory entry measuring fig14 and fig15 at the given
+// sequential seconds.
+func traj(gomaxprocs int, warm bool, fig14, fig15 float64) entry {
+	return entry{
+		Benchmark:         "BenchmarkExperiments",
+		GoMaxProcs:        gomaxprocs,
+		SequentialSeconds: fig14 + fig15,
+		ParallelSeconds:   (fig14 + fig15) / 2,
+		Speedup:           2,
+		WarmStart:         warm,
+		PerExperimentSeq:  map[string]float64{"fig14": fig14, "fig15": fig15},
+	}
+}
+
+func TestGateRatchet(t *testing.T) {
+	cases := []struct {
+		name string
+		traj []entry
+		spec string
+		want bool
+	}{
+		{
+			name: "holds the mark",
+			traj: []entry{traj(4, false, 5, 5), traj(4, false, 4, 4), traj(4, false, 4.2, 4.2)},
+			spec: "fig14+fig15:0.10",
+			want: true, // 8.4s vs best 8.0s = +5%, within 10%
+		},
+		{
+			name: "regresses past the mark",
+			traj: []entry{traj(4, false, 5, 5), traj(4, false, 4, 4), traj(4, false, 4.5, 4.5)},
+			spec: "fig14+fig15:0.10",
+			want: false, // 9.0s vs best 8.0s = +12.5%
+		},
+		{
+			name: "latest sets a new mark",
+			traj: []entry{traj(4, false, 5, 5), traj(4, false, 3, 3)},
+			spec: "fig14+fig15:0.10",
+			want: true,
+		},
+		{
+			name: "different gomaxprocs not comparable",
+			traj: []entry{traj(8, false, 1, 1), traj(4, false, 5, 5)},
+			spec: "fig14+fig15:0.10",
+			want: true, // the 8-core 2s entry must not become the mark
+		},
+		{
+			name: "different warmstart mode not comparable",
+			traj: []entry{traj(4, true, 1, 1), traj(4, false, 5, 5)},
+			spec: "fig14+fig15:0.10",
+			want: true,
+		},
+		{
+			name: "single entry records the mark",
+			traj: []entry{traj(4, false, 5, 5)},
+			spec: "fig14+fig15:0.10",
+			want: true,
+		},
+		{
+			name: "single-member id",
+			traj: []entry{traj(4, false, 2, 5), traj(4, false, 9, 5.1)},
+			spec: "fig15:0.10",
+			want: true, // fig15 within 10% even though fig14 blew up
+		},
+		{
+			name: "missing experiment fails",
+			traj: []entry{traj(4, false, 5, 5)},
+			spec: "fig99:0.10",
+			want: false,
+		},
+		{
+			name: "malformed demand fails",
+			traj: []entry{traj(4, false, 5, 5)},
+			spec: "fig14+fig15",
+			want: false,
+		},
+		{
+			name: "bad fraction fails",
+			traj: []entry{traj(4, false, 5, 5)},
+			spec: "fig14:1.5",
+			want: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := gateRatchet(tc.traj, tc.spec); got != tc.want {
+				t.Errorf("gateRatchet(%s) = %v, want %v", tc.spec, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGateImprovements(t *testing.T) {
+	trajectory := []entry{traj(4, false, 10, 10), traj(4, false, 6, 7)}
+	if !gateImprovements(trajectory, "fig14+fig15:0.30") {
+		t.Error("35% combined improvement rejected against a 30% demand")
+	}
+	if gateImprovements(trajectory, "fig15:0.40") {
+		t.Error("30% fig15 improvement accepted against a 40% demand")
+	}
+	// A GOMAXPROCS change between baseline and latest skips (passes) the gate.
+	shape := []entry{traj(8, false, 10, 10), traj(4, false, 10, 10)}
+	if !gateImprovements(shape, "fig15:0.40") {
+		t.Error("cross-shape comparison was judged instead of skipped")
+	}
+}
+
+func TestGateSpeedup(t *testing.T) {
+	fast := traj(4, false, 5, 5)
+	if !gateSpeedup([]entry{fast}, 1.0) {
+		t.Error("2x speedup rejected against a 1.0 floor")
+	}
+	slow := fast
+	slow.Speedup = 0.8
+	if gateSpeedup([]entry{slow}, 1.0) {
+		t.Error("0.8x speedup accepted on a 4-core entry")
+	}
+	single := slow
+	single.GoMaxProcs = 1
+	if !gateSpeedup([]entry{single}, 1.0) {
+		t.Error("floor applied on a single-core runner")
+	}
+}
+
+func TestParseBenchOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	body := `goos: linux
+BenchmarkEngineCalendar-4   100000  95.15 ns/op  0 B/op  0 allocs/op
+BenchmarkNoMem-4            100000  12.00 ns/op
+PASS
+`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := parseBenchOut(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("parsed %d lines, want 2", len(lines))
+	}
+	if lines[0].name != "BenchmarkEngineCalendar" || lines[0].nsOp != 95.15 ||
+		!lines[0].hasMem || lines[0].allocs != 0 {
+		t.Errorf("parsed %+v", lines[0])
+	}
+	if lines[1].name != "BenchmarkNoMem" || lines[1].hasMem {
+		t.Errorf("parsed %+v", lines[1])
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"servicefridge/internal/cliutil"
+	"servicefridge/internal/engine"
 	"servicefridge/internal/experiments"
 )
 
@@ -60,8 +61,10 @@ func run() int {
 			"fork budget-sweep cells from one warmed-up snapshot per group (byte-identical output, less wall clock)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the regeneration to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile (post-regeneration) to this file")
-		exports    cliutil.ExportFlags
-		telFlags   cliutil.TelemetryFlags
+		scenario   = flag.String("scenario", "",
+			"run one JSON scenario spec (the control-plane format, see EXPERIMENTS.md) and print its report instead of regenerating figures")
+		exports  cliutil.ExportFlags
+		telFlags cliutil.TelemetryFlags
 	)
 	exports.Bind(flag.CommandLine, 0.05)
 	telFlags.Bind(flag.CommandLine)
@@ -72,6 +75,13 @@ func run() int {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
 		return 0
+	}
+
+	// -scenario runs one ad-hoc spec through the exact mapping the
+	// control plane uses and prints the standard report. The spec
+	// carries its own seed; -run/-seed/exports do not apply.
+	if *scenario != "" {
+		return runScenario(*scenario)
 	}
 
 	var todo []experiments.Experiment
@@ -174,5 +184,35 @@ func run() int {
 			return 1
 		}
 	}
+	return 0
+}
+
+// runScenario loads a scenario spec file, runs it, and prints the same
+// report a control-plane session embeds in its /result document.
+func runScenario(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		return 1
+	}
+	sc, err := experiments.LoadScenario(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 1
+	}
+	cfg, err := sc.Config()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 1
+	}
+	tel := sc.NewTelemetry()
+	cfg.Telemetry = tel
+	res, err := engine.RunE(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 1
+	}
+	cliutil.RunReport(os.Stdout, res, tel, sc.SLOTarget())
 	return 0
 }

@@ -5,20 +5,27 @@
 //
 //	fridge -scheme ServiceFridge -budget 0.8 -workers 50 -mixA 30 -mixB 20 -duration 30s
 //	fridge -scheme ServiceFridge -budget 0.8 -timeseries run.csv
-//	fridge -scheme ServiceFridge -budget 0.8 -listen :8080   # live /metrics
+//	fridge -scheme ServiceFridge -budget 0.8 -listen :8080   # live /metrics + control plane
+//	fridge -serve -listen :8080                              # control plane only, no local run
 //	fridge -scheme ServiceFridge -sweep 1.0,0.9,0.8,0.75 -warmstart
 //
 // With -listen the process serves Prometheus text-format /metrics, a JSON
-// /status snapshot, and /healthz while the simulation runs, and keeps
-// serving the final snapshot after the results print until interrupted.
-// Serving is read-only off an atomically published snapshot, so scraping
-// never perturbs the (deterministic) run.
+// /status snapshot, /healthz, and the simulation control plane under
+// /sessions (POST a scenario spec, poll it, stream its telemetry, ask
+// what-if questions — see internal/server) while the local simulation
+// runs, and keeps serving after the results print until interrupted.
+// Serving is read-only off atomically published snapshots, so scraping
+// never perturbs the (deterministic) run. -serve skips the local run and
+// only serves the control plane.
 //
 // With -sweep the command runs one cell per budget fraction and prints a
 // compact comparison table instead of the single-run report. Adding
 // -warmstart simulates the shared warmup once, snapshots the engine at the
 // budget-independence barrier, and forks every cell from that snapshot —
 // the numbers are byte-identical to cold runs, only the wall clock drops.
+//
+// All flag and configuration validation happens before any socket is
+// bound, so a bad spec can never leave a half-started listener behind.
 package main
 
 import (
@@ -29,18 +36,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"servicefridge/internal/cliutil"
-	"servicefridge/internal/core"
 	"servicefridge/internal/engine"
-	"servicefridge/internal/fridge"
 	"servicefridge/internal/metrics"
 	"servicefridge/internal/obs"
 	"servicefridge/internal/schemes"
+	"servicefridge/internal/server"
 	"servicefridge/internal/telemetry"
 	"servicefridge/internal/trace"
 )
@@ -59,6 +64,7 @@ func main() {
 		specPath = flag.String("spec", "", "JSON application profile (overrides -app)")
 		sweep    = flag.String("sweep", "", "comma-separated budget fractions to sweep (overrides -budget); prints one row per cell")
 		warm     = flag.Bool("warmstart", false, "with -sweep: simulate warmup once and fork each cell from a snapshot (byte-identical results)")
+		serve    = flag.Bool("serve", false, "with -listen: serve the control plane only, without a local run")
 		exports  cliutil.ExportFlags
 		telFlags cliutil.TelemetryFlags
 	)
@@ -84,14 +90,16 @@ func main() {
 		KeepSpans:      exports.Traces != "",
 	}
 
+	// Everything below validates before any listener binds: a bad sweep
+	// spec, flag combination or configuration must not leak a socket.
 	if *sweep != "" {
 		if exports.Events != "" || exports.Traces != "" || telFlags.Timeseries != "" || telFlags.Listen != "" {
 			fmt.Fprintln(os.Stderr, "fridge: -sweep does not combine with exports or -listen")
 			os.Exit(1)
 		}
-		fracs, err := parseSweep(*sweep)
+		fracs, err := cliutil.ParseSweep(*sweep)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "fridge: %v\n", err)
 			os.Exit(1)
 		}
 		if err := runSweep(cfg, fracs, *warm); err != nil {
@@ -99,6 +107,18 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if *serve && telFlags.Listen == "" {
+		fmt.Fprintln(os.Stderr, "fridge: -serve requires -listen")
+		os.Exit(1)
+	}
+	if *serve && (exports.Events != "" || exports.Traces != "" || telFlags.Timeseries != "") {
+		fmt.Fprintln(os.Stderr, "fridge: -serve does not combine with exports (sessions carry their own telemetry)")
+		os.Exit(1)
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	if exports.Events != "" {
@@ -109,6 +129,8 @@ func main() {
 
 	// The listener starts before the run so scrapers can watch it live;
 	// handlers read published snapshots only and never touch the sim.
+	// The same mux carries the local run's telemetry and the control
+	// plane's sessions.
 	var served string
 	if telFlags.Listen != "" {
 		tel.EnablePublishing()
@@ -118,8 +140,19 @@ func main() {
 			os.Exit(1)
 		}
 		served = ln.Addr().String()
-		go (&http.Server{Handler: telemetry.NewHandler(tel)}).Serve(ln)
+		mux := http.NewServeMux()
+		telemetry.Register(mux, tel)
+		server.New(server.Options{}).Register(mux)
+		go (&http.Server{Handler: mux}).Serve(ln)
 		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", served)
+		fmt.Fprintf(os.Stderr, "control plane: POST scenarios to http://%s/sessions\n", served)
+	}
+
+	if *serve {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		return
 	}
 
 	res, err := engine.RunE(cfg)
@@ -150,63 +183,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("scheme=%s budget=%.0f%% workers=%d regions=%v sim=%v\n\n",
-		*scheme, *budget*100, *workers, spec.RegionNames(), *warmup+*duration)
-
-	tb := metrics.NewTable("Response time (post-warmup)", "region", "count", "mean", "p90", "p95", "p99")
-	for _, region := range spec.RegionNames() {
-		s := res.Summary(region)
-		if s.Count == 0 {
-			continue
-		}
-		tb.Rowf(region, s.Count, s.Mean, s.P90, s.P95, s.P99)
-	}
-	fmt.Println(tb)
-
-	fmt.Printf("power: cap=%.1fW mean-dynamic=%.1fW peak-dynamic=%.1fW range=%.1fW\n",
-		float64(res.Budget.Cap()), float64(res.Meter.MeanDynamic()),
-		float64(res.Meter.PeakDynamic()), float64(res.Meter.DynamicRange()))
-
-	over := 0
-	for _, cs := range res.Meter.ClusterSamples() {
-		if res.Budget.Violated(cs.Total) {
-			over++
-		}
-	}
-	fmt.Printf("budget violations: %d / %d samples\n", over, len(res.Meter.ClusterSamples()))
-	fmt.Printf("migrations: %d  container starts: %d\n", res.Orch.Migrations(), res.Orch.Started())
-
-	if res.Fridge != nil {
-		fmt.Println()
-		low, unc, high := core.Levels(res.Fridge.Levels())
-		fmt.Printf("criticality: high=%v uncertain=%v low=%v\n", high, unc, low)
-		for _, z := range []fridge.Zone{fridge.Cold, fridge.Warm, fridge.Hot} {
-			var names []string
-			for _, s := range res.Fridge.ZoneServers(z) {
-				names = append(names, s.Name())
-			}
-			fmt.Printf("zone %-5s freq=%v servers=%v\n", z, res.Fridge.ZoneFreq(z), names)
-		}
-		fmt.Printf("algorithm-1: promotions=%d demotions=%d\n",
-			res.Fridge.Promotions(), res.Fridge.Demotions())
-	}
-
-	if tel != nil {
-		fmt.Println()
-		any := false
-		for _, r := range tel.SLOReport() {
-			if r.FirstViolation < 0 {
-				continue
-			}
-			any = true
-			frac := float64(r.ViolationTicks) / float64(r.EvalTicks)
-			fmt.Printf("slo %-10s first violation t=%.0fs, in violation %.0f%% of evaluated ticks\n",
-				r.Series, r.FirstViolation.Seconds(), 100*frac)
-		}
-		if !any {
-			fmt.Printf("slo: no violations (p95 target %v)\n", telFlags.SLOTarget)
-		}
-	}
+	cliutil.RunReport(os.Stdout, res, tel, telFlags.SLOTarget)
 
 	if res.Executor.Completed() == 0 {
 		fmt.Fprintln(os.Stderr, "warning: no requests completed")
@@ -220,18 +197,6 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 	}
-}
-
-func parseSweep(s string) ([]float64, error) {
-	var fracs []float64
-	for _, part := range strings.Split(s, ",") {
-		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return nil, fmt.Errorf("fridge: bad -sweep fraction %q: %v", part, err)
-		}
-		fracs = append(fracs, f)
-	}
-	return fracs, nil
 }
 
 // runSweep executes one cell per budget fraction and prints a comparison

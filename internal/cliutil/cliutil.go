@@ -147,6 +147,38 @@ func ParseMix(s string) (map[string]float64, error) {
 	return out, nil
 }
 
+// ParseSweep parses a -sweep spec: comma-separated budget fractions,
+// each in (0, 1], no duplicates, at least one. Any order is legal — the
+// canonical paper sweep descends (1.0,0.9,0.8,0.75) — but a repeated
+// fraction is almost certainly a typo, so it is rejected rather than
+// silently re-run.
+func ParseSweep(s string) ([]float64, error) {
+	var fracs []float64
+	seen := map[float64]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -sweep fraction %q: %v", part, err)
+		}
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("-sweep fraction %v must be in (0, 1]", f)
+		}
+		if seen[f] {
+			return nil, fmt.Errorf("-sweep fraction %v repeats", f)
+		}
+		seen[f] = true
+		fracs = append(fracs, f)
+	}
+	if len(fracs) == 0 {
+		return nil, fmt.Errorf("-sweep %q has no fractions", s)
+	}
+	return fracs, nil
+}
+
 // ExportFile creates path, hands it to write, and closes it, reporting
 // the first error.
 func ExportFile(path string, write func(io.Writer) error) error {

@@ -3,6 +3,7 @@ package cliutil
 import (
 	"flag"
 	"io"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -47,6 +48,57 @@ func TestMixFor(t *testing.T) {
 	full, _ := LoadSpec("full", "")
 	if MixFor(full, 3, 1) == nil {
 		t.Fatal("nil mix for the full spec")
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	good := []struct {
+		in   string
+		want []float64
+	}{
+		{"1.0,0.9,0.8,0.75", []float64{1, 0.9, 0.8, 0.75}}, // canonical descending
+		{"0.75, 0.8 ,1.0", []float64{0.75, 0.8, 1}},        // ascending + spaces
+		{"0.9", []float64{0.9}},
+		{"0.9,,1.0", []float64{0.9, 1}}, // empty cells skipped
+	}
+	for _, tc := range good {
+		got, err := ParseSweep(tc.in)
+		if err != nil {
+			t.Errorf("ParseSweep(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseSweep(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+
+	bad := []string{
+		"",            // empty spec
+		" , ,",        // only empty cells
+		"0.9,0.9",     // duplicate
+		"1.0,0.9,1.0", // duplicate, non-adjacent
+		"0.9,x",       // ill-formed number
+		"0.9,0",       // zero fraction
+		"-0.5",        // negative
+		"1.5",         // above full budget
+	}
+	for _, in := range bad {
+		if got, err := ParseSweep(in); err == nil {
+			t.Errorf("ParseSweep(%q) accepted: %v", in, got)
+		}
+	}
+}
+
+func TestExportFlagsParsing(t *testing.T) {
+	var e ExportFlags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	e.Bind(fs, 0.05)
+	if err := fs.Parse([]string{"-events", "ev.jsonl", "-traces", "tr.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Events != "ev.jsonl" || e.Traces != "tr.json" || e.TraceSample != 0.05 {
+		t.Fatalf("parsed %+v", e)
 	}
 }
 

@@ -78,6 +78,15 @@ func (c *Cluster) SetAllFreq(f GHz) {
 	}
 }
 
+// SetAllMaxFreq installs one frequency clamp on every server (max <= 0
+// removes all clamps). Server iteration order is construction order, so
+// the cascade of induced DVFS transitions is deterministic.
+func (c *Cluster) SetAllMaxFreq(max GHz) {
+	for _, s := range c.servers {
+		s.SetMaxFreq(max)
+	}
+}
+
 // SortedNames returns all server names sorted, for stable report output.
 func (c *Cluster) SortedNames() []string {
 	names := make([]string, len(c.servers))

@@ -82,6 +82,9 @@ type Server struct {
 	role  Role
 	cores int
 	freq  GHz
+	// maxFreq, when positive, caps every later SetFreq: the what-if
+	// "frequency clamp" perturbation. Zero means unclamped.
+	maxFreq GHz
 
 	// running holds in-flight jobs in start order. A slice (not a map)
 	// keeps SetFreq's reschedule order deterministic: rescheduling assigns
@@ -251,6 +254,9 @@ func (s *Server) complete(j *Job) {
 // frequency. Setting the current frequency is a no-op.
 func (s *Server) SetFreq(f GHz) {
 	f = ClampFreq(f)
+	if s.maxFreq > 0 && f > s.maxFreq {
+		f = s.maxFreq
+	}
 	if f == s.freq {
 		return
 	}
@@ -272,6 +278,26 @@ func (s *Server) SetFreq(f GHz) {
 	s.freq = f
 	s.freqChanges++
 }
+
+// SetMaxFreq installs (or, with max <= 0, removes) a frequency clamp:
+// the server's frequency is immediately lowered to max if it exceeds it,
+// and every later SetFreq is capped at max until the clamp is lifted.
+// Schemes keep issuing their usual DVFS decisions; the clamp silently
+// bounds what the hardware honours — the shape of a thermal or firmware
+// limit, and the what-if control plane's frequency perturbation.
+func (s *Server) SetMaxFreq(max GHz) {
+	if max <= 0 {
+		s.maxFreq = 0
+		return
+	}
+	s.maxFreq = ClampFreq(max)
+	if s.freq > s.maxFreq {
+		s.SetFreq(s.maxFreq)
+	}
+}
+
+// MaxFreq returns the active frequency clamp (0 when unclamped).
+func (s *Server) MaxFreq() GHz { return s.maxFreq }
 
 // Utilization returns the fraction of core capacity busy between two
 // cumulative BusyCoreTime readings taken window apart.

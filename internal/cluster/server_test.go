@@ -358,3 +358,52 @@ func TestBusyTimeConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSetMaxFreqClampsNowAndLater(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewServer(eng, "n1", RoleNormalWorker, 2)
+	if s.MaxFreq() != 0 {
+		t.Fatalf("new server clamped at %v, want unclamped", s.MaxFreq())
+	}
+	s.SetMaxFreq(1.8)
+	if s.Freq() != 1.8 {
+		t.Fatalf("clamp did not lower the running frequency: %v", s.Freq())
+	}
+	s.SetFreq(2.4) // a scheme asking for more than the clamp allows
+	if s.Freq() != 1.8 {
+		t.Fatalf("SetFreq escaped the clamp: %v", s.Freq())
+	}
+	s.SetFreq(1.4) // below the clamp is honoured as-is
+	if s.Freq() != 1.4 {
+		t.Fatalf("SetFreq below the clamp = %v, want 1.4", s.Freq())
+	}
+	s.SetMaxFreq(0) // lifting the clamp re-opens the full ladder
+	s.SetFreq(2.4)
+	if s.Freq() != 2.4 {
+		t.Fatalf("after lifting the clamp SetFreq(2.4) = %v", s.Freq())
+	}
+}
+
+func TestMaxFreqSnapshotRoundTrip(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewServer(eng, "n1", RoleNormalWorker, 2)
+	s.SetMaxFreq(1.6)
+	snap := s.Snapshot()
+	s.SetMaxFreq(0)
+	s.SetFreq(2.4)
+	s.Restore(snap)
+	if s.MaxFreq() != 1.6 || s.Freq() != 1.6 {
+		t.Fatalf("restore lost the clamp: max=%v freq=%v", s.MaxFreq(), s.Freq())
+	}
+}
+
+func TestClusterSetAllMaxFreq(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := DefaultTestbed(eng)
+	c.SetAllMaxFreq(2.0)
+	for _, s := range c.Servers() {
+		if s.Freq() != 2.0 || s.MaxFreq() != 2.0 {
+			t.Fatalf("server %s freq=%v max=%v, want 2.0/2.0", s.Name(), s.Freq(), s.MaxFreq())
+		}
+	}
+}

@@ -18,6 +18,7 @@ type jobSnap struct {
 // ServerState is a deep copy of one server's mutable state.
 type ServerState struct {
 	freq          GHz
+	maxFreq       GHz
 	running       []jobSnap
 	queue         []jobSnap
 	busyTotal     time.Duration
@@ -33,6 +34,7 @@ type ServerState struct {
 func (s *Server) Snapshot() *ServerState {
 	snap := &ServerState{
 		freq:          s.freq,
+		maxFreq:       s.maxFreq,
 		busyTotal:     s.busyTotal,
 		busyByTag:     make(map[string]time.Duration, len(s.busyByTag)),
 		lastUpdate:    s.lastUpdate,
@@ -60,6 +62,7 @@ func (s *Server) Snapshot() *ServerState {
 // samples once it accrues busy time).
 func (s *Server) Restore(snap *ServerState) {
 	s.freq = snap.freq
+	s.maxFreq = snap.maxFreq
 	s.busyTotal = snap.busyTotal
 	s.lastUpdate = snap.lastUpdate
 	s.completedJobs = snap.completedJobs

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"servicefridge/internal/cluster"
+	"servicefridge/internal/sim"
+)
+
+// Session-safe forking. A RunState can only be restored into the Result
+// it was taken from (calendar closures capture pointers into the live
+// object graph), so a what-if fork is not a second engine: it is a
+// detour on the same one. The what-if control plane pauses a run,
+// replays to the fork point from a base snapshot, explores the baseline
+// and perturbed branches to completion, and then replays back to where
+// it paused — every step deterministic, so the detour is invisible to
+// the session's own outputs.
+//
+// Resuming MUST replay (ReplayTo), not restore a bookmark snapshot taken
+// before the detour: snapshots share append-only backing arrays (trace
+// stores, slabs) with the live run, and a perturbed branch overwrites
+// the region beyond its fork point with different values — values a
+// bookmark's prefix may cover. Replaying from the base rebuilds every
+// store from the true event sequence, bit-identical to a run that never
+// forked. Unperturbed detours are exempt (a deterministic replay writes
+// back the exact bytes it overwrites), which is why warm-started sweeps
+// may keep restoring one snapshot without replaying.
+
+// Total returns the simulation end time of the run: Warmup+Duration, or
+// the phase schedule's end when that is longer — the deadline Finish
+// advances the clock to.
+func (r *Result) Total() sim.Time {
+	cfg := r.Config
+	total := cfg.Warmup + cfg.Duration
+	if ph := phaseLength(cfg.Phases); ph > total {
+		total = ph
+	}
+	return sim.Time(total)
+}
+
+// ReplayTo rewinds the run to base and replays it forward to at. It is
+// both the fork primitive and the only sound way to resume a paused run
+// after a perturbed detour (see the package comment above). base must
+// have been taken from this Result at a time <= at.
+func (r *Result) ReplayTo(base *RunState, at sim.Time) error {
+	if at < base.Now() {
+		return fmt.Errorf("engine: replay time %v precedes the base snapshot at %v", at, base.Now())
+	}
+	if total := r.Total(); at > total {
+		return fmt.Errorf("engine: replay time %v exceeds the run's end %v", at, total)
+	}
+	r.Restore(base)
+	r.Engine.RunUntil(at)
+	r.ResetStats()
+	return nil
+}
+
+// ForkAt replays the run from base to the fork instant and returns a
+// fresh snapshot there. A typical what-if is
+//
+//	snap, _ := res.ForkAt(base, at)  // state at the fork point
+//	res.Finish()                     // baseline branch to completion
+//	...read stats...
+//	res.Restore(snap)                // back to the fork point
+//	...perturb (budget, clamp, load)...
+//	res.Finish()                     // perturbed branch to completion
+//	...read stats...
+//	res.ReplayTo(base, paused)       // resume where the run was paused
+func (r *Result) ForkAt(base *RunState, at sim.Time) (*RunState, error) {
+	if err := r.ReplayTo(base, at); err != nil {
+		return nil, err
+	}
+	return r.Snapshot(), nil
+}
+
+// ScaleWorkers multiplies the configured closed-loop worker count by
+// factor (rounded to nearest, floored at one worker when the original
+// pool was non-empty) — the what-if load perturbation. Region pools and
+// open loops are left untouched.
+func (r *Result) ScaleWorkers(factor float64) {
+	n := int(math.Round(float64(r.Config.Workers) * factor))
+	if n < 1 && r.Config.Workers > 0 && factor > 0 {
+		n = 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	r.Gen.SetWorkers(n)
+}
+
+// ClampFreq installs a max-frequency clamp on every server (max <= 0
+// removes it) — the what-if frequency perturbation. Schemes keep issuing
+// DVFS decisions; the clamp bounds what the hardware honours.
+func (r *Result) ClampFreq(max cluster.GHz) {
+	r.Cluster.SetAllMaxFreq(max)
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"servicefridge/internal/cliutil"
+	"servicefridge/internal/engine"
+	"servicefridge/internal/schemes"
+	"servicefridge/internal/telemetry"
+	"servicefridge/internal/workload"
+)
+
+// Scenario is the JSON run specification shared by the control plane
+// (internal/server) and the CLIs (-scenario flags). Every field is
+// optional; the zero scenario normalizes to exactly the cmd/fridge flag
+// defaults, i.e. the paper's Table-4 study configuration (Baseline
+// scheme, full budget, 50 workers, A:B = 1:1, 5s warmup + 30s measured,
+// seed 1). Normalization makes every default explicit, so two specs that
+// describe the same run marshal to identical bytes — the property the
+// control plane's byte-identical response guarantee rests on.
+type Scenario struct {
+	// Scheme is a power-scheme registry name ("" = Baseline).
+	Scheme string `json:"scheme,omitempty"`
+	// Budget is the power budget fraction in (0, 1] (0 = 1.0).
+	Budget float64 `json:"budget,omitempty"`
+	// Workers is the closed-loop worker count (0 = 50).
+	Workers int `json:"workers,omitempty"`
+	// MixA and MixB weight the two-region study mix (nil = 1). They are
+	// pointers so an explicit zero ("region B only") survives JSON.
+	MixA *float64 `json:"mixA,omitempty"`
+	MixB *float64 `json:"mixB,omitempty"`
+	// Mix is a region→weight map for arbitrary specs. It conflicts with
+	// MixA/MixB; zero-weight entries are dropped during normalization.
+	Mix map[string]float64 `json:"mix,omitempty"`
+	// WarmupS and DurationS are the discarded and measured phases in
+	// seconds (0 = 5 and 30, matching the engine's own defaults).
+	WarmupS   float64 `json:"warmup_s,omitempty"`
+	DurationS float64 `json:"duration_s,omitempty"`
+	// Seed is the run's random seed (0 = 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// App selects the built-in application profile: "study" (default)
+	// or "full".
+	App string `json:"app,omitempty"`
+	// TickMS is the controller interval in milliseconds (0 = 1000).
+	TickMS float64 `json:"tick_ms,omitempty"`
+	// Telemetry configures the live-telemetry sampler attached to the
+	// run (nil = defaults: 1000ms interval, 10-tick window, 100ms SLO).
+	Telemetry *ScenarioTelemetry `json:"telemetry,omitempty"`
+}
+
+// ScenarioTelemetry mirrors telemetry.Options plus the SLO target.
+type ScenarioTelemetry struct {
+	IntervalMS  float64 `json:"interval_ms,omitempty"`
+	WindowTicks int     `json:"window_ticks,omitempty"`
+	SLOTargetMS float64 `json:"slo_target_ms,omitempty"`
+}
+
+// Normalize validates s and returns a copy with every default explicit.
+// Normalized scenarios are canonical: equal runs marshal to equal bytes.
+func (s Scenario) Normalize() (Scenario, error) {
+	if s.Scheme == "" {
+		s.Scheme = string(engine.Baseline)
+	}
+	if _, ok := schemes.Lookup(s.Scheme); !ok {
+		return s, fmt.Errorf("scenario: unknown scheme %q (known: %s)",
+			s.Scheme, strings.Join(schemes.Names(), ", "))
+	}
+	if s.Budget == 0 {
+		s.Budget = 1.0
+	}
+	if s.Budget <= 0 || s.Budget > 1 {
+		return s, fmt.Errorf("scenario: budget %v must be in (0, 1]", s.Budget)
+	}
+	if s.Workers == 0 {
+		s.Workers = 50
+	}
+	if s.Workers < 0 {
+		return s, fmt.Errorf("scenario: workers %d must not be negative", s.Workers)
+	}
+	switch s.App {
+	case "":
+		s.App = "study"
+	case "study", "full":
+	default:
+		return s, fmt.Errorf("scenario: unknown app %q (want study or full)", s.App)
+	}
+	if len(s.Mix) > 0 {
+		if s.MixA != nil || s.MixB != nil {
+			return s, fmt.Errorf("scenario: mix conflicts with mixA/mixB")
+		}
+		spec, err := cliutil.LoadSpec(s.App, "")
+		if err != nil {
+			return s, err
+		}
+		clean := make(map[string]float64, len(s.Mix))
+		for region, w := range s.Mix {
+			if w < 0 {
+				return s, fmt.Errorf("scenario: mix weight %v for region %q must not be negative", w, region)
+			}
+			if spec.Region(region) == nil {
+				return s, fmt.Errorf("scenario: mix region %q is not in the %s application", region, s.App)
+			}
+			if w > 0 {
+				clean[region] = w
+			}
+		}
+		if len(clean) == 0 {
+			return s, fmt.Errorf("scenario: mix has no positive weights")
+		}
+		s.Mix = clean
+	} else {
+		s.Mix = nil
+		if s.MixA == nil {
+			s.MixA = ptr(1.0)
+		}
+		if s.MixB == nil {
+			s.MixB = ptr(1.0)
+		}
+		if *s.MixA < 0 || *s.MixB < 0 {
+			return s, fmt.Errorf("scenario: mixA %v and mixB %v must not be negative", *s.MixA, *s.MixB)
+		}
+		if *s.MixA == 0 && *s.MixB == 0 {
+			return s, fmt.Errorf("scenario: mixA and mixB must not both be zero")
+		}
+	}
+	if s.WarmupS == 0 {
+		s.WarmupS = 5
+	}
+	if s.DurationS == 0 {
+		s.DurationS = 30
+	}
+	if s.WarmupS < 0 || s.DurationS < 0 {
+		return s, fmt.Errorf("scenario: warmup_s %v and duration_s %v must not be negative", s.WarmupS, s.DurationS)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.TickMS == 0 {
+		s.TickMS = 1000
+	}
+	if s.TickMS <= 0 {
+		return s, fmt.Errorf("scenario: tick_ms %v must be positive", s.TickMS)
+	}
+	tel := ScenarioTelemetry{}
+	if s.Telemetry != nil {
+		tel = *s.Telemetry
+	}
+	if tel.IntervalMS == 0 {
+		tel.IntervalMS = 1000
+	}
+	if tel.WindowTicks == 0 {
+		tel.WindowTicks = 10
+	}
+	if tel.SLOTargetMS == 0 {
+		tel.SLOTargetMS = telemetry.DefaultSLOTarget.Seconds() * 1000
+	}
+	if tel.IntervalMS < 0 || tel.WindowTicks < 0 || tel.SLOTargetMS < 0 {
+		return s, fmt.Errorf("scenario: telemetry options must not be negative")
+	}
+	s.Telemetry = &tel
+	return s, nil
+}
+
+func ptr(f float64) *float64 { return &f }
+
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// Warmup and Duration return the normalized phase lengths. They assume a
+// normalized scenario (Warmup returns 0 for the zero scenario).
+func (s Scenario) Warmup() time.Duration   { return secs(s.WarmupS) }
+func (s Scenario) Duration() time.Duration { return secs(s.DurationS) }
+
+// SLOTarget returns the normalized p95 response-time target.
+func (s Scenario) SLOTarget() time.Duration {
+	if s.Telemetry == nil {
+		return telemetry.DefaultSLOTarget
+	}
+	return secs(s.Telemetry.SLOTargetMS / 1000)
+}
+
+// Config normalizes s and builds the engine configuration it describes —
+// the exact configuration cmd/fridge builds from the equivalent flags, so
+// a control-plane session and a CLI run with the same spec and seed are
+// byte-identical.
+func (s Scenario) Config() (engine.Config, error) {
+	s, err := s.Normalize()
+	if err != nil {
+		return engine.Config{}, err
+	}
+	spec, err := cliutil.LoadSpec(s.App, "")
+	if err != nil {
+		return engine.Config{}, err
+	}
+	var mix *workload.Mix
+	if len(s.Mix) > 0 {
+		mix = workload.NewMix(spec.RegionNames(), s.Mix)
+	} else {
+		mix = cliutil.MixFor(spec, *s.MixA, *s.MixB)
+	}
+	cfg := engine.Config{
+		Seed:            s.Seed,
+		Spec:            spec,
+		Scheme:          engine.SchemeName(s.Scheme),
+		BudgetFraction:  s.Budget,
+		Workers:         s.Workers,
+		Mix:             mix,
+		Warmup:          s.Warmup(),
+		Duration:        s.Duration(),
+		ControlInterval: secs(s.TickMS / 1000),
+	}
+	return cfg, cfg.Validate()
+}
+
+// NewTelemetry builds the telemetry sampler the scenario describes. Like
+// the CLI, the SLO monitor's grace period is the warmup so the discarded
+// phase cannot trip alerts. It assumes a normalized scenario.
+func (s Scenario) NewTelemetry() *telemetry.Telemetry {
+	opt := telemetry.Options{
+		SLO: telemetry.SLOOptions{Target: s.SLOTarget(), Grace: s.Warmup()},
+	}
+	if s.Telemetry != nil {
+		opt.Interval = secs(s.Telemetry.IntervalMS / 1000)
+		opt.WindowTicks = s.Telemetry.WindowTicks
+	}
+	return telemetry.New(opt)
+}
+
+// LoadScenario decodes one JSON scenario from r, rejecting unknown fields
+// and trailing data, and returns it normalized.
+func LoadScenario(r io.Reader) (Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("scenario: %v", err)
+	}
+	if dec.More() {
+		return s, fmt.Errorf("scenario: trailing data after the JSON document")
+	}
+	return s.Normalize()
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"servicefridge/internal/cliutil"
+	"servicefridge/internal/engine"
+)
+
+// TestScenarioZeroIsTable4 checks that the empty spec normalizes to the
+// cmd/fridge flag defaults — the paper's Table-4 study configuration.
+func TestScenarioZeroIsTable4(t *testing.T) {
+	s, err := Scenario{}.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if s.Scheme != "Baseline" || s.Budget != 1.0 || s.Workers != 50 ||
+		*s.MixA != 1 || *s.MixB != 1 || s.WarmupS != 5 || s.DurationS != 30 ||
+		s.Seed != 1 || s.App != "study" || s.TickMS != 1000 {
+		t.Fatalf("unexpected normalized defaults: %+v", s)
+	}
+	tel := s.Telemetry
+	if tel == nil || tel.IntervalMS != 1000 || tel.WindowTicks != 10 || tel.SLOTargetMS != 100 {
+		t.Fatalf("unexpected telemetry defaults: %+v", tel)
+	}
+	if got, want := s.SLOTarget(), 100*time.Millisecond; got != want {
+		t.Fatalf("SLOTarget() = %v, want %v", got, want)
+	}
+}
+
+// TestScenarioCanonicalBytes: two specs describing the same run must
+// marshal to identical bytes once normalized.
+func TestScenarioCanonicalBytes(t *testing.T) {
+	a, err := LoadScenario(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatalf("load a: %v", err)
+	}
+	b, err := LoadScenario(strings.NewReader(
+		`{"scheme":"Baseline","budget":1,"workers":50,"seed":1,"app":"study"}`))
+	if err != nil {
+		t.Fatalf("load b: %v", err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("normalized marshals differ:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestScenarioConfigMatchesCLI runs the same short scenario through the
+// Scenario mapping and through the config construction cmd/fridge does,
+// and requires identical results.
+func TestScenarioConfigMatchesCLI(t *testing.T) {
+	sc := Scenario{Scheme: "ServiceFridge", Budget: 0.8, Workers: 20,
+		WarmupS: 1, DurationS: 3, Seed: 7}
+	cfg, err := sc.Config()
+	if err != nil {
+		t.Fatalf("Config: %v", err)
+	}
+
+	spec, err := cliutil.LoadSpec("study", "")
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	cli := engine.Config{
+		Seed:           7,
+		Spec:           spec,
+		Scheme:         engine.SchemeName("ServiceFridge"),
+		BudgetFraction: 0.8,
+		Workers:        20,
+		Mix:            cliutil.MixFor(spec, 1, 1),
+		Warmup:         time.Second,
+		Duration:       3 * time.Second,
+	}
+
+	got := engine.Run(cfg)
+	want := engine.Run(cli)
+	for _, region := range []string{"", "A", "B"} {
+		if g, w := got.Summary(region), want.Summary(region); g != w {
+			t.Fatalf("region %q: scenario run %+v differs from CLI run %+v", region, g, w)
+		}
+	}
+	if g, w := got.Orch.Migrations(), want.Orch.Migrations(); g != w {
+		t.Fatalf("migrations %d != %d", g, w)
+	}
+}
+
+// TestScenarioMixMap exercises the generic region→weight mix path.
+func TestScenarioMixMap(t *testing.T) {
+	// Region A (Advanced Search) responses take seconds each, so the
+	// measured window has to be long enough for completions to land.
+	sc := Scenario{Mix: map[string]float64{"A": 2, "B": 0}, WarmupS: 1, DurationS: 9}
+	cfg, err := sc.Config()
+	if err != nil {
+		t.Fatalf("Config: %v", err)
+	}
+	res := engine.Run(cfg)
+	if n := res.Summary("B").Count; n != 0 {
+		t.Fatalf("region B got %d requests despite zero weight", n)
+	}
+	if n := res.Summary("A").Count; n == 0 {
+		t.Fatal("region A got no requests")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	bad := []Scenario{
+		{Scheme: "NoSuchScheme"},
+		{Budget: 1.5},
+		{Budget: -0.1},
+		{Workers: -1},
+		{App: "tiny"},
+		{MixA: ptr(1), Mix: map[string]float64{"A": 1}},
+		{Mix: map[string]float64{"Z": 1}},
+		{Mix: map[string]float64{"A": 0}},
+		{MixA: ptr(0.0), MixB: ptr(0.0)},
+		{WarmupS: -1},
+		{TickMS: -5},
+	}
+	for i, s := range bad {
+		if _, err := s.Normalize(); err == nil {
+			t.Errorf("case %d: Normalize accepted invalid scenario %+v", i, s)
+		}
+	}
+	if _, err := LoadScenario(strings.NewReader(`{"schem":"Baseline"}`)); err == nil {
+		t.Error("LoadScenario accepted an unknown field")
+	}
+	if _, err := LoadScenario(strings.NewReader(`{} {}`)); err == nil {
+		t.Error("LoadScenario accepted trailing data")
+	}
+}

@@ -1,0 +1,374 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"servicefridge/internal/cliutil"
+	"servicefridge/internal/engine"
+	"servicefridge/internal/telemetry"
+)
+
+// shortScenario finishes in a few dozen milliseconds of wall clock.
+const shortScenario = `{"scheme":"ServiceFridge","budget":0.8,"workers":20,"warmup_s":1,"duration_s":3,"seed":3}`
+
+func newTestServer(t *testing.T, opt Options) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	New(opt).Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doReq(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("%s %s: read body: %v", method, url, err)
+	}
+	return resp.StatusCode, b
+}
+
+func createSession(t *testing.T, ts *httptest.Server, scenario string) string {
+	t.Helper()
+	code, body := doReq(t, "POST", ts.URL+"/sessions", scenario)
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", code, body)
+	}
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil || doc.ID == "" {
+		t.Fatalf("create: bad body %s (%v)", body, err)
+	}
+	return doc.ID
+}
+
+func sessionState(t *testing.T, ts *httptest.Server, id string) (State, statusEntry) {
+	t.Helper()
+	code, body := doReq(t, "GET", ts.URL+"/sessions/"+id+"/status", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %s: %d: %s", id, code, body)
+	}
+	var e statusEntry
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("status %s: %v in %s", id, err, body)
+	}
+	return e.State, e
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, e := sessionState(t, ts, id)
+		if st == want {
+			return
+		}
+		if st == StateFailed {
+			t.Fatalf("session %s failed: %s", id, e.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("session %s never reached %s", id, want)
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	id := createSession(t, ts, shortScenario)
+	waitState(t, ts, id, StateDone)
+
+	_, e := sessionState(t, ts, id)
+	if e.SimSeconds != 4 || e.TotalSeconds != 4 {
+		t.Fatalf("done session reports sim %v / total %v, want 4 / 4", e.SimSeconds, e.TotalSeconds)
+	}
+
+	code, r1 := doReq(t, "GET", ts.URL+"/sessions/"+id+"/result", "")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d: %s", code, r1)
+	}
+	_, r2 := doReq(t, "GET", ts.URL+"/sessions/"+id+"/result", "")
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("two reads of the same result differ")
+	}
+	var doc resultDoc
+	if err := json.Unmarshal(r1, &doc); err != nil {
+		t.Fatalf("result unmarshal: %v", err)
+	}
+	if doc.Regions[0].Region != "all" || doc.Regions[0].Count == 0 {
+		t.Fatalf("result has no aggregate responses: %+v", doc.Regions)
+	}
+	if !strings.Contains(doc.Report, "scheme=ServiceFridge budget=80%") {
+		t.Fatalf("report header missing: %q", doc.Report)
+	}
+
+	code, body := doReq(t, "GET", ts.URL+"/sessions", "")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"id":"`+id+`"`)) {
+		t.Fatalf("list: %d: %s", code, body)
+	}
+
+	if code, _ := doReq(t, "DELETE", ts.URL+"/sessions/"+id, ""); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	if code, _ := doReq(t, "GET", ts.URL+"/sessions/"+id+"/status", ""); code != http.StatusNotFound {
+		t.Fatalf("status after delete: %d, want 404", code)
+	}
+}
+
+// TestConcurrentClientsByteIdentical is the acceptance test: two clients
+// concurrently create sessions from the same scenario and issue the same
+// what-if; every pair of bodies must be byte-identical.
+func TestConcurrentClientsByteIdentical(t *testing.T) {
+	ts := newTestServer(t, Options{MaxConcurrent: 2})
+	const whatif = `{"at_s":1.5,"budget":0.75}`
+
+	type out struct {
+		result, whatif []byte
+	}
+	results := make([]out, 2)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := createSession(t, ts, shortScenario)
+			waitState(t, ts, id, StateDone)
+			_, results[i].result = doReq(t, "GET", ts.URL+"/sessions/"+id+"/result", "")
+			code, body := doReq(t, "POST", ts.URL+"/sessions/"+id+"/whatif", whatif)
+			if code != http.StatusOK {
+				t.Errorf("whatif: %d: %s", code, body)
+			}
+			results[i].whatif = body
+		}(i)
+	}
+	wg.Wait()
+	if !bytes.Equal(results[0].result, results[1].result) {
+		t.Error("concurrent clients got different result bodies for the same scenario")
+	}
+	if !bytes.Equal(results[0].whatif, results[1].whatif) {
+		t.Error("concurrent clients got different what-if bodies for the same query")
+	}
+}
+
+func TestWhatIfDeterministicAndEffective(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	id := createSession(t, ts, shortScenario)
+	waitState(t, ts, id, StateDone)
+
+	const query = `{"at_s":1.5,"budget":0.75,"max_freq_ghz":1.6,"load_factor":1.5}`
+	code, b1 := doReq(t, "POST", ts.URL+"/sessions/"+id+"/whatif", query)
+	if code != http.StatusOK {
+		t.Fatalf("whatif: %d: %s", code, b1)
+	}
+	_, b2 := doReq(t, "POST", ts.URL+"/sessions/"+id+"/whatif", query)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("identical what-if queries returned different bodies:\n%s\n%s", b1, b2)
+	}
+	var doc whatIfDoc
+	if err := json.Unmarshal(b1, &doc); err != nil {
+		t.Fatalf("whatif unmarshal: %v", err)
+	}
+	if doc.Baseline == doc.Perturbed {
+		t.Fatal("perturbations had no effect on the branch stats")
+	}
+
+	// The detour must be invisible: the session's result is still
+	// byte-identical to a fresh session that never ran a what-if.
+	_, after := doReq(t, "GET", ts.URL+"/sessions/"+id+"/result", "")
+	fresh := createSession(t, ts, shortScenario)
+	waitState(t, ts, fresh, StateDone)
+	_, want := doReq(t, "GET", ts.URL+"/sessions/"+fresh+"/result", "")
+	if !bytes.Equal(after, want) {
+		t.Fatal("result changed after a what-if detour")
+	}
+}
+
+// TestWhatIfWhileRunning issues a what-if against a session that is still
+// advancing; the answer must equal the one the finished session gives.
+func TestWhatIfWhileRunning(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	long := `{"workers":20,"warmup_s":1,"duration_s":120,"seed":3}`
+	id := createSession(t, ts, long)
+
+	const query = `{"at_s":2,"budget":0.8}`
+	code, during := doReq(t, "POST", ts.URL+"/sessions/"+id+"/whatif", query)
+	if code == http.StatusConflict {
+		t.Skip("session finished its queue wait too quickly to catch mid-run")
+	}
+	if code != http.StatusOK {
+		t.Fatalf("whatif while running: %d: %s", code, during)
+	}
+	waitState(t, ts, id, StateDone)
+	_, after := doReq(t, "POST", ts.URL+"/sessions/"+id+"/whatif", query)
+	if !bytes.Equal(during, after) {
+		t.Fatal("what-if answered differently while running vs after completion")
+	}
+}
+
+// TestCLIParity is the acceptance test that a session running the default
+// Table-4 scenario matches the cmd/fridge CLI output for the same seed:
+// the CLI builds its config from flag defaults and prints via
+// cliutil.RunReport; the session's report field must be that exact text.
+func TestCLIParity(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	id := createSession(t, ts, `{}`)
+	waitState(t, ts, id, StateDone)
+	_, body := doReq(t, "GET", ts.URL+"/sessions/"+id+"/result", "")
+	var doc resultDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("result unmarshal: %v", err)
+	}
+
+	// The config cmd/fridge builds from its flag defaults (with -listen,
+	// which attaches the same default telemetry a session gets).
+	spec, err := cliutil.LoadSpec("study", "")
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	tel := telemetry.New(telemetry.Options{
+		SLO: telemetry.SLOOptions{Target: telemetry.DefaultSLOTarget, Grace: 5 * time.Second},
+	})
+	cfg := engine.Config{
+		Seed:           1,
+		Spec:           spec,
+		Scheme:         engine.SchemeName("Baseline"),
+		BudgetFraction: 1.0,
+		Workers:        50,
+		Mix:            cliutil.MixFor(spec, 1, 1),
+		Warmup:         5 * time.Second,
+		Duration:       30 * time.Second,
+		Telemetry:      tel,
+	}
+	res, err := engine.RunE(cfg)
+	if err != nil {
+		t.Fatalf("RunE: %v", err)
+	}
+	var want bytes.Buffer
+	cliutil.RunReport(&want, res, tel, telemetry.DefaultSLOTarget)
+	if doc.Report != want.String() {
+		t.Fatalf("session report differs from CLI output:\n--- session\n%s\n--- cli\n%s", doc.Report, want.String())
+	}
+}
+
+func TestStreamEmitsJSONL(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	id := createSession(t, ts, shortScenario)
+	resp, err := http.Get(ts.URL + "/sessions/" + id + "/stream")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/jsonl" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	lines := 0
+	var lastSim float64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var doc struct {
+			SimSeconds float64 `json:"sim_seconds"`
+			Latency    []any   `json:"latency"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &doc); err != nil {
+			t.Fatalf("stream line %d is not JSON: %v: %s", lines, err, sc.Text())
+		}
+		if doc.SimSeconds < lastSim {
+			t.Fatalf("stream went backwards: %v after %v", doc.SimSeconds, lastSim)
+		}
+		lastSim = doc.SimSeconds
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if lines < 2 {
+		t.Fatalf("stream produced %d lines, want at least 2", lines)
+	}
+}
+
+func TestQueueCancelAndErrors(t *testing.T) {
+	ts := newTestServer(t, Options{MaxConcurrent: 1})
+	longA := `{"workers":20,"warmup_s":1,"duration_s":240,"seed":3}`
+	a := createSession(t, ts, longA)
+	b := createSession(t, ts, shortScenario)
+
+	// B waits behind A; its result is not available and a what-if has no
+	// engine to fork.
+	if st, _ := sessionState(t, ts, b); st == StateQueued {
+		if code, _ := doReq(t, "GET", ts.URL+"/sessions/"+b+"/result", ""); code != http.StatusConflict {
+			t.Errorf("result while queued: %d, want 409", code)
+		}
+		code, _ := doReq(t, "POST", ts.URL+"/sessions/"+b+"/whatif", `{"at_s":1,"budget":0.8}`)
+		if code != http.StatusConflict {
+			t.Errorf("whatif while queued: %d, want 409", code)
+		}
+	}
+
+	if code, _ := doReq(t, "POST", ts.URL+"/sessions/"+b+"/cancel", ""); code != http.StatusOK {
+		t.Fatalf("cancel: not OK")
+	}
+	waitState(t, ts, b, StateCancelled)
+	if code, _ := doReq(t, "GET", ts.URL+"/sessions/"+b+"/result", ""); code != http.StatusConflict {
+		t.Errorf("result after cancel: %d, want 409", code)
+	}
+
+	if code, _ := doReq(t, "DELETE", ts.URL+"/sessions/"+a, ""); code != http.StatusNoContent {
+		t.Fatalf("delete running session failed")
+	}
+	if code, _ := doReq(t, "GET", ts.URL+"/sessions/"+a, ""); code != http.StatusNotFound {
+		t.Errorf("deleted session still listed")
+	}
+
+	// Error surface.
+	if code, _ := doReq(t, "POST", ts.URL+"/sessions", `{"scheme":"NoSuch"}`); code != http.StatusBadRequest {
+		t.Errorf("bad scenario accepted: %d", code)
+	}
+	if code, _ := doReq(t, "GET", ts.URL+"/sessions/nope/status", ""); code != http.StatusNotFound {
+		t.Errorf("unknown session status: %d", code)
+	}
+	id := createSession(t, ts, shortScenario)
+	waitState(t, ts, id, StateDone)
+	if code, _ := doReq(t, "POST", ts.URL+"/sessions/"+id+"/whatif", `{"at_s":1}`); code != http.StatusBadRequest {
+		t.Errorf("perturbation-free whatif accepted: %d", code)
+	}
+	if code, _ := doReq(t, "POST", ts.URL+"/sessions/"+id+"/whatif", `{"at_s":999,"budget":0.8}`); code != http.StatusUnprocessableEntity {
+		t.Errorf("out-of-range fork time accepted: %d", code)
+	}
+}
+
+func TestLRUEvictsOldestFinished(t *testing.T) {
+	ts := newTestServer(t, Options{MaxFinished: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id := createSession(t, ts, fmt.Sprintf(`{"workers":20,"warmup_s":1,"duration_s":3,"seed":%d}`, i+1))
+		waitState(t, ts, id, StateDone)
+		ids = append(ids, id)
+	}
+	if code, _ := doReq(t, "GET", ts.URL+"/sessions/"+ids[0]+"/status", ""); code != http.StatusNotFound {
+		t.Errorf("oldest finished session survived eviction: %d", code)
+	}
+	for _, id := range ids[1:] {
+		if code, _ := doReq(t, "GET", ts.URL+"/sessions/"+id+"/status", ""); code != http.StatusOK {
+			t.Errorf("recent session %s evicted: %d", id, code)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"servicefridge/internal/cluster"
+	"servicefridge/internal/engine"
+	"servicefridge/internal/experiments"
+	"servicefridge/internal/sim"
+	"servicefridge/internal/telemetry"
+)
+
+// WhatIfRequest is the POST /sessions/{id}/whatif body: fork the session
+// at sim time at_s, apply the perturbations, and report the delta against
+// an unperturbed baseline branch. At least one perturbation is required.
+// Zero values mean "leave unchanged".
+type WhatIfRequest struct {
+	// AtS is the fork point in simulation seconds.
+	AtS float64 `json:"at_s"`
+	// Budget retargets the power budget fraction, as SetBudgetFraction.
+	Budget float64 `json:"budget,omitempty"`
+	// MaxFreqGHz clamps every server's DVFS ceiling.
+	MaxFreqGHz float64 `json:"max_freq_ghz,omitempty"`
+	// LoadFactor multiplies the closed-loop worker count.
+	LoadFactor float64 `json:"load_factor,omitempty"`
+}
+
+func (q WhatIfRequest) validate() error {
+	if q.AtS < 0 {
+		return fmt.Errorf("at_s %v must not be negative", q.AtS)
+	}
+	if q.Budget == 0 && q.MaxFreqGHz == 0 && q.LoadFactor == 0 {
+		return fmt.Errorf("what-if needs at least one perturbation (budget, max_freq_ghz, load_factor)")
+	}
+	if q.Budget < 0 || q.Budget > 1 {
+		return fmt.Errorf("budget %v must be in (0, 1]", q.Budget)
+	}
+	if q.MaxFreqGHz < 0 {
+		return fmt.Errorf("max_freq_ghz %v must not be negative", q.MaxFreqGHz)
+	}
+	if q.LoadFactor < 0 {
+		return fmt.Errorf("load_factor %v must not be negative", q.LoadFactor)
+	}
+	return nil
+}
+
+func parseWhatIf(r io.Reader) (WhatIfRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var q WhatIfRequest
+	if err := dec.Decode(&q); err != nil {
+		return q, err
+	}
+	return q, q.validate()
+}
+
+// branchDoc summarizes one what-if branch (post-warmup aggregate).
+type branchDoc struct {
+	P90Ms             float64 `json:"p90_ms"`
+	P99Ms             float64 `json:"p99_ms"`
+	ViolationFraction float64 `json:"violation_fraction"`
+	FirstViolationS   float64 `json:"first_violation_s"` // -1 when never tripped
+}
+
+// whatIfDoc is the response body. Like /result, everything in it derives
+// from (scenario, query) alone, so identical queries — from any client,
+// against any session running the same scenario — return byte-identical
+// bodies.
+type whatIfDoc struct {
+	Scenario  experiments.Scenario `json:"scenario"`
+	Query     WhatIfRequest        `json:"query"`
+	Baseline  branchDoc            `json:"baseline"`
+	Perturbed branchDoc            `json:"perturbed"`
+	Delta     struct {
+		P90Ms             float64 `json:"p90_ms"`
+		P99Ms             float64 `json:"p99_ms"`
+		ViolationFraction float64 `json:"violation_fraction"`
+	} `json:"delta"`
+}
+
+type whatifCmd struct {
+	req   WhatIfRequest
+	reply chan whatifReply
+}
+
+type whatifReply struct {
+	status int
+	body   []byte // JSON document, or an error message when status != 200
+}
+
+func (c *whatifCmd) fail(status int, msg string) {
+	c.reply <- whatifReply{status: status, body: errorBody(msg)}
+}
+
+func branchStats(res *engine.Result, tel *telemetry.Telemetry) branchDoc {
+	sum := res.Summary("")
+	d := branchDoc{P90Ms: ms(sum.P90), P99Ms: ms(sum.P99), FirstViolationS: -1}
+	for _, r := range tel.SLOReport() {
+		if r.Series != "all" {
+			continue
+		}
+		if r.EvalTicks > 0 {
+			d.ViolationFraction = float64(r.ViolationTicks) / float64(r.EvalTicks)
+		}
+		if r.FirstViolation >= 0 {
+			d.FirstViolationS = r.FirstViolation.Seconds()
+		}
+	}
+	return d
+}
+
+// execWhatif runs one what-if on the session goroutine, which owns the
+// engine. The protocol (see internal/engine/fork.go): pause where the run
+// is, fork at the requested time from the t=0 base snapshot, run the
+// baseline branch to completion, rewind to the fork and run the perturbed
+// branch, then replay back to the paused position — the detour is
+// invisible to the session's own outputs. Telemetry publication is
+// suspended for the duration so /status and the stream never see detour
+// state.
+func (s *session) execWhatif(res *engine.Result, base *engine.RunState, cmd *whatifCmd) {
+	paused := res.Engine.Now()
+	at := sim.Time(cmd.req.AtS * 1e9)
+	s.tel.SetPublishing(false)
+	defer s.tel.SetPublishing(true)
+
+	resume := func() error {
+		if err := res.ReplayTo(base, paused); err != nil {
+			return err
+		}
+		s.simNow.Store(int64(res.Engine.Now()))
+		return nil
+	}
+
+	snap, err := res.ForkAt(base, at)
+	if err != nil {
+		cmd.fail(statusUnprocessable, err.Error())
+		if rerr := resume(); rerr != nil {
+			s.setState(StateFailed, rerr.Error())
+		}
+		return
+	}
+
+	res.Finish()
+	baseline := branchStats(res, s.tel)
+
+	res.Restore(snap)
+	if cmd.req.Budget != 0 {
+		res.SetBudgetFraction(cmd.req.Budget)
+	}
+	if cmd.req.MaxFreqGHz != 0 {
+		res.ClampFreq(cluster.GHz(cmd.req.MaxFreqGHz))
+	}
+	if cmd.req.LoadFactor != 0 {
+		res.ScaleWorkers(cmd.req.LoadFactor)
+	}
+	res.Finish()
+	perturbed := branchStats(res, s.tel)
+
+	if err := resume(); err != nil {
+		// Should be unreachable: the replay retraces a path the run
+		// already took. Surface it loudly rather than serving a corrupt
+		// session.
+		s.setState(StateFailed, err.Error())
+		cmd.fail(statusInternal, err.Error())
+		return
+	}
+
+	doc := whatIfDoc{Scenario: s.scenario, Query: cmd.req, Baseline: baseline, Perturbed: perturbed}
+	doc.Delta.P90Ms = perturbed.P90Ms - baseline.P90Ms
+	doc.Delta.P99Ms = perturbed.P99Ms - baseline.P99Ms
+	doc.Delta.ViolationFraction = perturbed.ViolationFraction - baseline.ViolationFraction
+	body, merr := json.Marshal(doc)
+	if merr != nil { // unreachable: plain data
+		cmd.fail(statusInternal, merr.Error())
+		return
+	}
+	cmd.reply <- whatifReply{status: statusOK, body: append(body, '\n')}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -34,12 +35,34 @@ type Snapshot struct {
 // the run.
 type publisher struct {
 	snap atomic.Pointer[Snapshot]
+	hist atomic.Pointer[history]
 }
+
+// history is an immutable chunk of the publication sequence: snaps[i]
+// carries sequence number base+i. Publication installs a fresh chunk
+// (copy-on-write), so readers use whatever chunk they loaded without
+// locking — the same one-way discipline as the single-snapshot pointer.
+type history struct {
+	base  uint64
+	snaps []*Snapshot
+}
+
+// maxHistory caps the retained publication history; past it the older
+// half is dropped and streams that fell that far behind skip forward.
+const maxHistory = 8192
 
 // EnablePublishing turns on snapshot publication. Off by default because
 // building the immutable snapshot allocates — only the serving CLI pays
 // that cost; the bench-gated sampling path stays allocation-free.
 func (t *Telemetry) EnablePublishing() { t.publishing = true }
+
+// SetPublishing toggles snapshot publication. The what-if control plane
+// pauses publication while it replays forked branches on a session's
+// engine — those samples are detour state, not the live run — and
+// resumes it afterwards. Call only from the goroutine driving the
+// simulation; the previously published snapshot stays readable while
+// publication is off.
+func (t *Telemetry) SetPublishing(on bool) { t.publishing = on }
 
 // publish builds and atomically installs a fresh snapshot of row.
 func (t *Telemetry) publish(row *Sample) {
@@ -53,6 +76,38 @@ func (t *Telemetry) publish(row *Sample) {
 		Interval: t.opt.Interval,
 	}
 	t.pub.snap.Store(snap)
+	var h history
+	if old := t.pub.hist.Load(); old != nil {
+		h = *old
+	}
+	if len(h.snaps) >= maxHistory {
+		drop := len(h.snaps) / 2
+		h.base += uint64(drop)
+		h.snaps = h.snaps[drop:]
+	}
+	snaps := make([]*Snapshot, 0, len(h.snaps)+1)
+	snaps = append(append(snaps, h.snaps...), snap)
+	t.pub.hist.Store(&history{base: h.base, snaps: snaps})
+}
+
+// PublishedSince returns every published snapshot with sequence number
+// >= seq, in publication order, plus the sequence number to resume from.
+// It backs the control plane's chunked-JSONL session streams: a stream
+// tracks its own cursor and never misses a snapshot, however fast the
+// simulation outpaces it (up to the maxHistory trim).
+func (t *Telemetry) PublishedSince(seq uint64) ([]*Snapshot, uint64) {
+	h := t.pub.hist.Load()
+	if h == nil {
+		return nil, seq
+	}
+	if seq < h.base {
+		seq = h.base
+	}
+	end := h.base + uint64(len(h.snaps))
+	if seq >= end {
+		return nil, end
+	}
+	return h.snaps[seq-h.base:], end
 }
 
 // LoadSnapshot returns the most recently published snapshot, or nil
@@ -60,26 +115,33 @@ func (t *Telemetry) publish(row *Sample) {
 // from any goroutine.
 func (t *Telemetry) LoadSnapshot() *Snapshot { return t.pub.snap.Load() }
 
-// NewHandler returns the live-telemetry HTTP handler: Prometheus
+// Register mounts the live-telemetry routes on mux: Prometheus
 // text-format /metrics, a JSON /status snapshot, and /healthz. Built on
 // the published snapshot only — handlers never touch the running
-// simulation.
-func NewHandler(t *Telemetry) http.Handler {
-	mux := http.NewServeMux()
+// simulation. Callers composing a larger surface (the control plane in
+// internal/server) register onto their own mux; NewHandler remains for
+// a telemetry-only server.
+func Register(mux *http.ServeMux, t *Telemetry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		var buf bytes.Buffer
-		writeMetrics(&buf, t.LoadSnapshot())
+		WriteMetricsTo(&buf, t.LoadSnapshot())
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.Write(buf.Bytes())
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		writeStatus(w, t.LoadSnapshot())
+		WriteStatusTo(w, t.LoadSnapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
 	})
+}
+
+// NewHandler returns a handler serving only the telemetry routes.
+func NewHandler(t *Telemetry) http.Handler {
+	mux := http.NewServeMux()
+	Register(mux, t)
 	return mux
 }
 
@@ -143,9 +205,10 @@ func (p *promWriter) counter(name, help string, value float64, labels ...string)
 
 func secs(d time.Duration) float64 { return float64(d) / 1e9 }
 
-// writeMetrics renders the snapshot in the Prometheus text exposition
+// WriteMetricsTo renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4), entirely hand-rolled on the standard library.
-func writeMetrics(buf *bytes.Buffer, snap *Snapshot) {
+// A nil snapshot (nothing published yet) renders fridge_up 0.
+func WriteMetricsTo(buf *bytes.Buffer, snap *Snapshot) {
 	p := &promWriter{buf: buf, headed: map[string]bool{}}
 	if snap == nil {
 		p.gauge("fridge_up", "Whether a telemetry snapshot has been published.", 0)
@@ -243,10 +306,16 @@ type statusDoc struct {
 	Demotions  uint64             `json:"demotions_total"`
 }
 
-func writeStatus(w http.ResponseWriter, snap *Snapshot) {
+// WriteStatusTo writes one snapshot as a single line of JSON followed by
+// a newline. It backs both the /status endpoint and the control plane's
+// chunked-JSONL session streams (one published snapshot per line), so
+// the document layout is identical in both places. Field order is fixed
+// by the struct and map keys are sorted by encoding/json, making the
+// bytes a deterministic function of the snapshot.
+func WriteStatusTo(w io.Writer, snap *Snapshot) error {
 	if snap == nil {
-		w.Write([]byte(`{"status":"no snapshot yet"}` + "\n"))
-		return
+		_, err := w.Write([]byte(`{"status":"no snapshot yet"}` + "\n"))
+		return err
 	}
 	s := &snap.Sample
 	doc := statusDoc{
@@ -279,8 +348,7 @@ func writeStatus(w http.ResponseWriter, snap *Snapshot) {
 			doc.MCF[svc] = s.MCF[i]
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.Encode(doc)
+	return json.NewEncoder(w).Encode(doc)
 }
 
 func seriesDoc(name string, st *SeriesStats) statusSeries {

@@ -99,9 +99,14 @@ func (c *Collector) Restore(st *CollectorState) {
 		c.execByService[svc] = xs
 	}
 	restoreSeries(&c.all, st.all)
-	for region := range c.byRegion {
+	// Per-region series objects are reset in place, never deleted: like
+	// the servers' per-tag busy boxes, a *series created once must stay
+	// the map's value forever, because older snapshots hold its pointer.
+	// A region first seen after the snapshot rewinds to empty, which is
+	// indistinguishable from it never having been created.
+	for region, rs := range c.byRegion {
 		if _, ok := st.byRegion[region]; !ok {
-			delete(c.byRegion, region)
+			restoreSeries(rs, seriesState{finish: rs.finish[:0], resp: rs.resp[:0]})
 		}
 	}
 	for _, rs := range st.byRegion {

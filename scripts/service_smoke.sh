@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Smoke-test the cmd/fridge control plane end to end.
+#
+# Boots `fridge -serve -listen 127.0.0.1:0`, POSTs the committed scenario
+# spec TWICE (two independent sessions), polls each to completion, asks
+# the same what-if question of both, and verifies:
+#
+#   1. the two sessions' /result bodies are byte-identical to each other
+#      and to testdata/service_smoke/result.golden.json;
+#   2. the two /whatif bodies are byte-identical to each other and to
+#      testdata/service_smoke/whatif.golden.json;
+#   3. the post-detour /result still matches the golden (the what-if
+#      fork left no trace in the session).
+#
+# Every request/response pair is appended to $OUT/transcript.jsonl (one
+# JSON object per line) so CI can upload the full exchange as an
+# artifact.
+#
+# Usage: scripts/service_smoke.sh [-update] [outdir]
+#   -update  rewrite the goldens from this run instead of diffing
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+UPDATE=0
+if [ "${1:-}" = "-update" ]; then
+  UPDATE=1
+  shift
+fi
+OUT=${1:-/tmp/service_smoke}
+GOLDEN=testdata/service_smoke
+mkdir -p "$OUT"
+TRANSCRIPT="$OUT/transcript.jsonl"
+: > "$TRANSCRIPT"
+
+go build -o "$OUT/fridge" ./cmd/fridge
+
+"$OUT/fridge" -serve -listen 127.0.0.1:0 2> "$OUT/server.log" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+# The server prints its resolved address on stderr once the socket is
+# bound; :0 lets the kernel pick a free port.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's#^control plane: POST scenarios to http://\([^/]*\)/sessions$#\1#p' "$OUT/server.log")
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$OUT/server.log" >&2; exit 1; }
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "service_smoke: server never reported its address" >&2
+  cat "$OUT/server.log" >&2
+  exit 1
+fi
+BASE="http://$ADDR"
+
+# req METHOD PATH [BODYFILE] -> body on stdout, transcript line appended.
+# Responses are single-line JSON, so they embed directly as JSON values.
+req() {
+  local method=$1 path=$2 bodyfile=${3:-}
+  local resp status
+  if [ -n "$bodyfile" ]; then
+    resp=$(curl -sS -X "$method" --data-binary @"$bodyfile" \
+      -w $'\n%{http_code}' "$BASE$path")
+  else
+    resp=$(curl -sS -X "$method" -w $'\n%{http_code}' "$BASE$path")
+  fi
+  status=${resp##*$'\n'}
+  resp=${resp%$'\n'*}
+  printf '{"method":"%s","path":"%s","status":%s,"body":%s}\n' \
+    "$method" "$path" "$status" "${resp:-null}" >> "$TRANSCRIPT"
+  if [ "${status:0:1}" != "2" ]; then
+    echo "service_smoke: $method $path -> $status: $resp" >&2
+    return 1
+  fi
+  printf '%s\n' "$resp"
+}
+
+# await_done ID polls /status until the session reaches a terminal state.
+await_done() {
+  local id=$1 body
+  for _ in $(seq 1 300); do
+    body=$(req GET "/sessions/$id/status")
+    case "$body" in
+      *'"state":"done"'*) return 0 ;;
+      *'"state":"failed"'*) echo "service_smoke: session $id failed: $body" >&2; return 1 ;;
+    esac
+    sleep 0.1
+  done
+  echo "service_smoke: session $id never finished" >&2
+  return 1
+}
+
+# Two independent sessions of the same scenario: the control plane
+# assigns ids deterministically (s1, s2).
+req POST /sessions "$GOLDEN/scenario.json" > /dev/null
+req POST /sessions "$GOLDEN/scenario.json" > /dev/null
+await_done s1
+await_done s2
+
+req GET /sessions/s1/result > "$OUT/result_s1.json"
+req GET /sessions/s2/result > "$OUT/result_s2.json"
+req POST /sessions/s1/whatif "$GOLDEN/whatif.json" > "$OUT/whatif_s1.json"
+req POST /sessions/s2/whatif "$GOLDEN/whatif.json" > "$OUT/whatif_s2.json"
+# The what-if fork must leave the session's result untouched.
+req GET /sessions/s1/result > "$OUT/result_s1_after.json"
+
+echo "service_smoke: two sessions completed on $BASE"
+
+if [ "$UPDATE" = 1 ]; then
+  cp "$OUT/result_s1.json" "$GOLDEN/result.golden.json"
+  cp "$OUT/whatif_s1.json" "$GOLDEN/whatif.golden.json"
+  echo "service_smoke: goldens rewritten in $GOLDEN"
+  exit 0
+fi
+
+diff "$OUT/result_s1.json" "$OUT/result_s2.json" \
+  || { echo "service_smoke: /result differs between identical sessions" >&2; exit 1; }
+diff "$OUT/whatif_s1.json" "$OUT/whatif_s2.json" \
+  || { echo "service_smoke: /whatif differs between identical sessions" >&2; exit 1; }
+diff "$OUT/result_s1.json" "$OUT/result_s1_after.json" \
+  || { echo "service_smoke: what-if detour changed the session result" >&2; exit 1; }
+diff "$GOLDEN/result.golden.json" "$OUT/result_s1.json" \
+  || { echo "service_smoke: /result drifted from the committed golden (run scripts/service_smoke.sh -update)" >&2; exit 1; }
+diff "$GOLDEN/whatif.golden.json" "$OUT/whatif_s1.json" \
+  || { echo "service_smoke: /whatif drifted from the committed golden (run scripts/service_smoke.sh -update)" >&2; exit 1; }
+
+echo "service_smoke: results byte-identical across sessions and goldens"
