@@ -13,6 +13,9 @@
 //	experiments -run ext-slo -timeseries telemetry.csv
 //	experiments -run ext-critpath -traces traces.json -trace-sample 0.05
 //	experiments -run fig15 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	experiments -scenario spec.json                  # one control-plane scenario
+//	experiments -workload flash-crowd -app socialnet # ad-hoc scenario from flags
+//	experiments -scenario spec.json -trace day.csv   # spec plus a trace overlay
 //
 // Independent simulation runs fan out across -parallel workers, both
 // across experiments and across within-figure cells; tables print in
@@ -63,12 +66,16 @@ func run() int {
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile (post-regeneration) to this file")
 		scenario   = flag.String("scenario", "",
 			"run one JSON scenario spec (the control-plane format, see EXPERIMENTS.md) and print its report instead of regenerating figures")
+		wl       cliutil.WorkloadFlags
 		exports  cliutil.ExportFlags
 		telFlags cliutil.TelemetryFlags
 	)
+	wl.Bind(flag.CommandLine)
 	exports.Bind(flag.CommandLine, 0.05)
 	telFlags.Bind(flag.CommandLine)
 	flag.Parse()
+	visited := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { visited[f.Name] = true })
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -77,11 +84,17 @@ func run() int {
 		return 0
 	}
 
-	// -scenario runs one ad-hoc spec through the exact mapping the
-	// control plane uses and prints the standard report. The spec
-	// carries its own seed; -run/-seed/exports do not apply.
-	if *scenario != "" {
-		return runScenario(*scenario)
+	// -scenario (or any workload/app flag) runs one ad-hoc spec through
+	// the exact mapping the control plane uses and prints the standard
+	// report. Flags layer over the spec file: -app swaps the application,
+	// -workload/-trace/-rate/-horizon/-closed supply the workload section,
+	// -seed overrides the spec's seed. -run/exports do not apply.
+	if *scenario != "" || wl.Active() {
+		return runScenario(*scenario, wl, visited, *seed)
+	}
+	if visited["app"] || visited["spec"] {
+		fmt.Fprintln(os.Stderr, "experiments: -app/-spec apply only with -scenario or -workload/-trace")
+		return 2
 	}
 
 	var todo []experiments.Experiment
@@ -187,16 +200,48 @@ func run() int {
 	return 0
 }
 
-// runScenario loads a scenario spec file, runs it, and prints the same
-// report a control-plane session embeds in its /result document.
-func runScenario(path string) int {
-	f, err := os.Open(path)
+// runScenario loads a scenario spec file (or starts from the zero
+// scenario when path is empty), layers the CLI workload overrides on
+// top, runs it, and prints the same report a control-plane session
+// embeds in its /result document.
+func runScenario(path string, wl cliutil.WorkloadFlags, visited map[string]bool, seed uint64) int {
+	var sc experiments.Scenario
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			return 1
+		}
+		sc, err = experiments.DecodeScenario(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+	}
+	if wl.SpecPath != "" {
+		fmt.Fprintln(os.Stderr, "scenario: -spec does not apply to scenario runs (use -app)")
+		return 1
+	}
+	if visited["app"] {
+		sc.App = wl.App
+	}
+	ws, err := wl.Workload()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
 		return 1
 	}
-	sc, err := experiments.LoadScenario(f)
-	f.Close()
+	if ws != nil {
+		if sc.Workload != nil {
+			fmt.Fprintln(os.Stderr, "scenario: the spec already has a workload section; drop the -workload/-trace flags")
+			return 1
+		}
+		sc.Workload = ws
+	}
+	if visited["seed"] {
+		sc.Seed = seed
+	}
+	sc, err = sc.Normalize()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		return 1

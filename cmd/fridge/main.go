@@ -5,6 +5,8 @@
 //
 //	fridge -scheme ServiceFridge -budget 0.8 -workers 50 -mixA 30 -mixB 20 -duration 30s
 //	fridge -scheme ServiceFridge -budget 0.8 -timeseries run.csv
+//	fridge -workload diurnal -rate 40 -app socialnet          # time-varying open-loop traffic
+//	fridge -trace testdata/traces/diurnal_day.csv             # replay a recorded t,region,rate trace
 //	fridge -scheme ServiceFridge -budget 0.8 -listen :8080   # live /metrics + control plane
 //	fridge -serve -listen :8080                              # control plane only, no local run
 //	fridge -scheme ServiceFridge -sweep 1.0,0.9,0.8,0.75 -warmstart
@@ -54,28 +56,34 @@ func main() {
 	var (
 		scheme   = flag.String("scheme", "Baseline", "power scheme: "+strings.Join(schemes.Names(), ", "))
 		budget   = flag.Float64("budget", 1.0, "power budget fraction of maximum (0.75..1.0)")
-		workers  = flag.Int("workers", 50, "closed-loop worker count")
+		workers  = flag.Int("workers", 50, "closed-loop worker count (0 when a -workload/-trace drives the run)")
 		mixA     = flag.Float64("mixA", 1, "weight of region A (Advanced Search) requests")
 		mixB     = flag.Float64("mixB", 1, "weight of region B (Basic Ticketing) requests")
 		duration = flag.Duration("duration", 30*time.Second, "measured duration after warmup")
 		warmup   = flag.Duration("warmup", 5*time.Second, "warmup duration (discarded)")
 		seed     = flag.Uint64("seed", 1, "random seed")
-		appFlag  = flag.String("app", "study", "application: study (8 services, 2 regions) or full (42 services, 6 regions)")
-		specPath = flag.String("spec", "", "JSON application profile (overrides -app)")
 		sweep    = flag.String("sweep", "", "comma-separated budget fractions to sweep (overrides -budget); prints one row per cell")
 		warm     = flag.Bool("warmstart", false, "with -sweep: simulate warmup once and fork each cell from a snapshot (byte-identical results)")
 		serve    = flag.Bool("serve", false, "with -listen: serve the control plane only, without a local run")
+		wl       cliutil.WorkloadFlags
 		exports  cliutil.ExportFlags
 		telFlags cliutil.TelemetryFlags
 	)
+	wl.Bind(flag.CommandLine)
 	exports.Bind(flag.CommandLine, 1)
 	telFlags.BindServe(flag.CommandLine)
 	flag.Parse()
 
-	spec, err := cliutil.LoadSpec(*appFlag, *specPath)
+	spec, err := wl.LoadSpec()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	// A time-varying workload drives the traffic; the closed-loop worker
+	// pool stays stopped unless -workers was set explicitly.
+	if wl.Active() && !flagSet("workers") {
+		*workers = 0
 	}
 
 	cfg := engine.Config{
@@ -88,6 +96,23 @@ func main() {
 		Warmup:         *warmup,
 		Duration:       *duration,
 		KeepSpans:      exports.Traces != "",
+	}
+	if ws, err := wl.Workload(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	} else if ws != nil {
+		norm, err := ws.Normalize((*warmup + *duration).Seconds())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prof, err := norm.Build(spec.RegionNames(), *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Profile = prof
+		cfg.ProfileClosed = norm.Closed
 	}
 
 	// Everything below validates before any listener binds: a bad sweep
@@ -197,6 +222,17 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 	}
+}
+
+// flagSet reports whether a flag was set explicitly on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // runSweep executes one cell per budget fraction and prints a comparison

@@ -1,0 +1,124 @@
+package app
+
+// This file encodes a second call-graph family: the social-network
+// topology of DeathStarBench ("The Architectural Implications of Cloud
+// Microservices" / "An Open-Source Benchmark Suite for Microservices"),
+// in the same Table-4 shape as the TrainTicket profiles — per-region call
+// times (CT) and mean execution times (ET) at FreqMax, with CPUShare
+// encoding how much of each service's work scales with frequency.
+//
+// Three request regions mirror the benchmark's three user-facing flows:
+// compose-post (write-heavy fan-out through the text/media/user pipeline
+// into storage and timeline writes), home-timeline and user-timeline
+// (read-heavy: fetch post ids, then hydrate posts, media and user info).
+// ETs follow the benchmark's published latency breakdowns qualitatively:
+// storage and media services dominate, id/url/mention helpers are cheap.
+
+// SocialNetwork builds the social-network application: 3 API portals,
+// 12 function services, their databases, and 3 request regions.
+func SocialNetwork() *Spec {
+	s := NewSpec()
+
+	// API layer — one portal per user-facing flow.
+	for _, api := range []string{"api-compose", "api-home-timeline", "api-user-timeline"} {
+		s.AddService(Microservice{Name: api, Kind: KindAPI, CPUShare: 0.5, Jitter: defaultJitter})
+	}
+
+	// Function services. Compute-bound text processing and id generation
+	// are power-sensitive (high CPUShare); storage-adjacent services spend
+	// their time waiting on their databases (low CPUShare).
+	for _, m := range []Microservice{
+		{Name: "unique-id", Kind: KindFunction, CPUShare: 0.80, Jitter: defaultJitter},
+		{Name: "text", Kind: KindFunction, CPUShare: 0.85, Jitter: defaultJitter},
+		{Name: "url-shorten", Kind: KindFunction, CPUShare: 0.70, Jitter: defaultJitter, DB: "url-db"},
+		{Name: "user-mention", Kind: KindFunction, CPUShare: 0.65, Jitter: defaultJitter},
+		{Name: "media", Kind: KindFunction, CPUShare: 0.45, Jitter: defaultJitter, DB: "media-db"},
+		{Name: "user", Kind: KindFunction, CPUShare: 0.55, Jitter: defaultJitter, DB: "user-db"},
+		{Name: "compose-post", Kind: KindFunction, CPUShare: 0.60, Jitter: defaultJitter},
+		{Name: "post-storage", Kind: KindFunction, CPUShare: 0.35, Jitter: defaultJitter, DB: "post-db"},
+		{Name: "user-timeline", Kind: KindFunction, CPUShare: 0.40, Jitter: defaultJitter, DB: "user-timeline-db"},
+		{Name: "home-timeline", Kind: KindFunction, CPUShare: 0.50, Jitter: defaultJitter},
+		{Name: "social-graph", Kind: KindFunction, CPUShare: 0.55, Jitter: defaultJitter, DB: "social-graph-db"},
+		{Name: "write-home-timeline", Kind: KindFunction, CPUShare: 0.30, Jitter: defaultJitter},
+	} {
+		s.AddService(m)
+	}
+
+	for _, db := range []string{"url-db", "media-db", "user-db", "post-db", "user-timeline-db", "social-graph-db"} {
+		s.AddService(Microservice{Name: db, Kind: KindDatabase, CPUShare: 0.3, Jitter: defaultJitter})
+	}
+
+	// compose-post: parallel pre-processing (id, media, user, text with
+	// its url/mention helpers), then the compose step, then storage and
+	// timeline writes fanning out through the social graph.
+	s.AddRegion(Region{
+		Name:    "compose",
+		API:     "api-compose",
+		APIExec: msd(4),
+		Stages: []Stage{
+			{
+				{Service: "unique-id", Times: 1, Exec: msd(0.6)},
+				{Service: "media", Times: 1, Exec: msd(4.5)},
+				{Service: "user", Times: 1, Exec: msd(3.0)},
+				{Service: "text", Times: 1, Exec: msd(2.6)},
+			},
+			{
+				{Service: "url-shorten", Times: 2, Exec: msd(1.2)},
+				{Service: "user-mention", Times: 2, Exec: msd(1.4)},
+			},
+			{
+				{Service: "compose-post", Times: 1, Exec: msd(6.2)},
+			},
+			{
+				{Service: "post-storage", Times: 1, Exec: msd(5.8)},
+				{Service: "user-timeline", Times: 1, Exec: msd(4.2)},
+			},
+			{
+				{Service: "social-graph", Times: 1, Exec: msd(3.4)},
+				{Service: "write-home-timeline", Times: 8, Exec: msd(1.9)},
+			},
+		},
+	})
+
+	// home-timeline: read the follow graph, fetch the timeline's post
+	// ids, then hydrate posts, media and user info.
+	s.AddRegion(Region{
+		Name:    "home-timeline",
+		API:     "api-home-timeline",
+		APIExec: msd(3),
+		Stages: []Stage{
+			{
+				{Service: "home-timeline", Times: 1, Exec: msd(3.2)},
+				{Service: "social-graph", Times: 1, Exec: msd(3.4)},
+			},
+			{
+				{Service: "post-storage", Times: 10, Exec: msd(2.8)},
+			},
+			{
+				{Service: "media", Times: 3, Exec: msd(4.5)},
+				{Service: "user", Times: 2, Exec: msd(3.0)},
+			},
+		},
+	})
+
+	// user-timeline: one user's posts — smaller hydration fan-out.
+	s.AddRegion(Region{
+		Name:    "user-timeline",
+		API:     "api-user-timeline",
+		APIExec: msd(3),
+		Stages: []Stage{
+			{
+				{Service: "user-timeline", Times: 1, Exec: msd(4.2)},
+				{Service: "user", Times: 1, Exec: msd(3.0)},
+			},
+			{
+				{Service: "post-storage", Times: 6, Exec: msd(2.8)},
+			},
+			{
+				{Service: "media", Times: 2, Exec: msd(4.5)},
+			},
+		},
+	})
+
+	return s
+}

@@ -85,15 +85,13 @@ func (t *TelemetryFlags) New(warmup time.Duration) *telemetry.Telemetry {
 }
 
 // LoadSpec resolves an application profile: specPath (a JSON profile)
-// wins when set; otherwise name selects a built-in ("study" or "full").
+// wins when set; otherwise name selects a built-in family from
+// app.Builtin ("study", "full", "socialnet", ...).
 func LoadSpec(name, specPath string) (*app.Spec, error) {
-	spec := app.TwoRegionStudy()
-	switch name {
-	case "", "study":
-	case "full":
-		spec = app.TrainTicket()
-	default:
-		return nil, fmt.Errorf("unknown application %q (want study or full)", name)
+	family, ok := app.Builtin(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown application %q (want %s)",
+			name, strings.Join(app.BuiltinNames(), ", "))
 	}
 	if specPath != "" {
 		f, err := os.Open(specPath)
@@ -103,7 +101,76 @@ func LoadSpec(name, specPath string) (*app.Spec, error) {
 		defer f.Close()
 		return app.ReadSpec(f)
 	}
-	return spec, nil
+	return family.New(), nil
+}
+
+// WorkloadFlags groups the application and traffic-shape selection flags
+// shared by cmd/fridge and cmd/experiments, so both CLIs parse and
+// validate workload selection identically: -app/-spec pick the call-graph
+// family, -workload/-rate/-horizon generate a registered time-varying
+// profile, -trace replays a recorded t,region,rate schedule, and -closed
+// drives per-region worker pools instead of open-loop arrivals.
+type WorkloadFlags struct {
+	App       string
+	SpecPath  string
+	Profile   string
+	Rate      float64
+	Horizon   time.Duration
+	TracePath string
+	Closed    bool
+}
+
+// Bind registers the flag group on fs. Help text enumerates the
+// registered traffic shapes and application families, the way -scheme
+// help already enumerates schemes.Names().
+func (w *WorkloadFlags) Bind(fs *flag.FlagSet) {
+	fs.StringVar(&w.App, "app", "study",
+		"application family: "+strings.Join(app.BuiltinNames(), ", "))
+	fs.StringVar(&w.SpecPath, "spec", "", "JSON application profile (overrides -app)")
+	fs.StringVar(&w.Profile, "workload", "",
+		"time-varying traffic profile: "+strings.Join(workload.Names(), ", ")+
+			" (empty = the steady closed-loop flags)")
+	fs.Float64Var(&w.Rate, "rate", 0,
+		"base per-region level for -workload: req/s open-loop, workers with -closed (0 = defaults)")
+	fs.DurationVar(&w.Horizon, "horizon", 0, "schedule horizon for -workload (0 = warmup+duration)")
+	fs.StringVar(&w.TracePath, "trace", "",
+		"replay a t,region,rate trace file (CSV or JSONL; conflicts with -workload)")
+	fs.BoolVar(&w.Closed, "closed", false,
+		"drive per-region closed-loop worker pools instead of open-loop arrivals")
+}
+
+// Active reports whether a time-varying workload was requested.
+func (w *WorkloadFlags) Active() bool { return w.Profile != "" || w.TracePath != "" }
+
+// LoadSpec resolves the -app/-spec pair.
+func (w *WorkloadFlags) LoadSpec() (*app.Spec, error) { return LoadSpec(w.App, w.SpecPath) }
+
+// Workload resolves the traffic flags into the scenario-format workload
+// section: nil when no time-varying workload was requested, an error for
+// conflicting or dangling flags. A -trace file is read here and carried
+// inline, exactly as a scenario posts it to the control plane; all deeper
+// validation (unknown profile names, malformed traces, bad rates) lives
+// in workload.Spec.Normalize so both CLIs and the server reject
+// identically.
+func (w *WorkloadFlags) Workload() (*workload.Spec, error) {
+	if w.TracePath != "" && w.Profile != "" {
+		return nil, fmt.Errorf("-trace conflicts with -workload %q", w.Profile)
+	}
+	if !w.Active() {
+		if w.Rate != 0 || w.Horizon != 0 || w.Closed {
+			return nil, fmt.Errorf("-rate/-horizon/-closed need -workload or -trace")
+		}
+		return nil, nil
+	}
+	ws := &workload.Spec{Profile: w.Profile, Rate: w.Rate, HorizonS: w.Horizon.Seconds(), Closed: w.Closed}
+	if w.TracePath != "" {
+		data, err := os.ReadFile(w.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		ws.Trace = string(data)
+	}
+	return ws, nil
 }
 
 // MixFor builds the request mix: the two-region study honours the

@@ -87,6 +87,17 @@ type Config struct {
 	// Phases optionally schedules workload changes (Figure 13); applied
 	// from t=0.
 	Phases []workload.Phase
+	// Profile, when non-nil, makes the traffic time-varying: a
+	// workload.Driver applies its per-region setpoints as simulation time
+	// passes — arrival rates on per-region open loops by default, worker
+	// counts on per-region closed pools with ProfileClosed. Generators
+	// missing for a profile region are created automatically. The run
+	// extends to at least the last setpoint (like Phases, with which
+	// Profile conflicts).
+	Profile *workload.Profile
+	// ProfileClosed interprets Profile setpoints as closed-loop worker
+	// counts instead of open-loop arrival rates.
+	ProfileClosed bool
 	// Warmup is discarded from latency results (default 5s).
 	Warmup time.Duration
 	// Duration is the measured period after warmup (default 30s).
@@ -218,6 +229,22 @@ func (c Config) Validate() error {
 			return fmt.Errorf("engine: TrackFreqOf names unknown service %q", svc)
 		}
 	}
+	if c.Profile != nil {
+		if err := c.Profile.Validate(); err != nil {
+			return err
+		}
+		for _, region := range c.Profile.Regions() {
+			if c.Spec.Region(region) == nil {
+				return fmt.Errorf("engine: Profile names unknown region %q", region)
+			}
+		}
+		if len(c.Phases) > 0 {
+			return fmt.Errorf("engine: Profile conflicts with Phases (one traffic schedule per run)")
+		}
+	}
+	if c.ProfileClosed && c.Profile == nil {
+		return fmt.Errorf("engine: ProfileClosed set without a Profile")
+	}
 	return nil
 }
 
@@ -255,7 +282,9 @@ type Result struct {
 	Gen       *workload.ClosedLoop
 	Pools     map[string]*workload.ClosedLoop
 	OpenLoops map[string]*workload.OpenLoop
-	Fridge    *fridge.Fridge // nil unless the scheme is ServiceFridge
+	// Driver applies Config.Profile's setpoints; nil for steady runs.
+	Driver *workload.Driver
+	Fridge *fridge.Fridge // nil unless the scheme is ServiceFridge
 	// Budget is the run's shared budget instance; the scheme context, the
 	// meter's BudgetFn and the telemetry bindings all read through this
 	// pointer, so SetBudgetFraction retargets every consumer at once.
@@ -402,18 +431,27 @@ func BuildE(cfg Config) (*Result, error) {
 	res.Gen = workload.NewClosedLoop(eng, launcher, eng.RNG().Stream("workload"), cfg.Mix, cfg.Think)
 	res.Pools = make(map[string]*workload.ClosedLoop)
 	res.OpenLoops = make(map[string]*workload.OpenLoop)
+	profileRegions := map[string]bool{}
+	if cfg.Profile != nil {
+		for _, region := range cfg.Profile.Regions() {
+			profileRegions[region] = true
+		}
+	}
 	for _, region := range cfg.Spec.RegionNames() {
 		regionMix := workload.NewMix([]string{region}, map[string]float64{region: 1})
-		if n, ok := cfg.PoolWorkers[region]; ok && n > 0 {
+		if cfg.PoolWorkers[region] > 0 || (cfg.ProfileClosed && profileRegions[region]) {
 			pool := workload.NewClosedLoop(eng, launcher,
 				eng.RNG().Stream("workload-"+region), regionMix, cfg.Think)
 			res.Pools[region] = pool
 		}
-		if rate, ok := cfg.OpenLoopRate[region]; ok && rate > 0 {
+		if cfg.OpenLoopRate[region] > 0 || (!cfg.ProfileClosed && profileRegions[region]) {
 			ol := workload.NewOpenLoop(eng, launcher,
 				eng.RNG().Stream("openloop-"+region), regionMix)
 			res.OpenLoops[region] = ol
 		}
+	}
+	if cfg.Profile != nil {
+		res.Driver = workload.NewDriver(eng, cfg.Profile, res.OpenLoops, res.Pools, cfg.ProfileClosed)
 	}
 
 	// Wiring at t=0: fixed frequencies, meter, control loop, workload.
@@ -486,6 +524,11 @@ func BuildE(cfg Config) (*Result, error) {
 	if len(cfg.Phases) > 0 {
 		res.Gen.Schedule(cfg.Phases)
 	}
+	if res.Driver != nil {
+		// Armed after the per-region t=0 wiring above, so a profile
+		// setpoint at t=0 overrides the (zero) static rates.
+		res.Driver.Start()
+	}
 	return res, nil
 }
 
@@ -511,12 +554,7 @@ func Build(cfg Config) *Result {
 
 // finish executes a built run to completion and stops the generators.
 func finish(res *Result) {
-	cfg := res.Config
-	total := cfg.Warmup + cfg.Duration
-	if ph := phaseLength(cfg.Phases); ph > total {
-		total = ph
-	}
-	res.Engine.RunUntil(sim.Time(total))
+	res.Engine.RunUntil(res.Total())
 	res.Gen.Stop()
 	for _, pool := range res.Pools {
 		pool.Stop()

@@ -6,6 +6,7 @@ import (
 
 	"servicefridge/internal/cluster"
 	"servicefridge/internal/sim"
+	"servicefridge/internal/workload"
 )
 
 // Session-safe forking. A RunState can only be restored into the Result
@@ -28,13 +29,18 @@ import (
 // may keep restoring one snapshot without replaying.
 
 // Total returns the simulation end time of the run: Warmup+Duration, or
-// the phase schedule's end when that is longer — the deadline Finish
-// advances the clock to.
+// the phase schedule's (or traffic profile's) end when that is longer —
+// the deadline Finish advances the clock to.
 func (r *Result) Total() sim.Time {
 	cfg := r.Config
 	total := cfg.Warmup + cfg.Duration
 	if ph := phaseLength(cfg.Phases); ph > total {
 		total = ph
+	}
+	if cfg.Profile != nil {
+		if l := cfg.Profile.Length(); l > total {
+			total = l
+		}
 	}
 	return sim.Time(total)
 }
@@ -94,4 +100,30 @@ func (r *Result) ScaleWorkers(factor float64) {
 // DVFS decisions; the clamp bounds what the hardware honours.
 func (r *Result) ClampFreq(max cluster.GHz) {
 	r.Cluster.SetAllMaxFreq(max)
+}
+
+// ScaleTraffic multiplies every profile-driven setpoint by factor — the
+// what-if load perturbation for time-varying runs (ScaleWorkers covers the
+// steady closed-loop generator). Current levels re-apply immediately;
+// future setpoints scale as they fire.
+func (r *Result) ScaleTraffic(factor float64) error {
+	if r.Driver == nil {
+		return fmt.Errorf("engine: run has no traffic profile (ScaleTraffic applies to Profile-driven runs)")
+	}
+	if factor <= 0 {
+		return fmt.Errorf("engine: traffic factor %v must be positive", factor)
+	}
+	r.Driver.SetScale(factor)
+	return nil
+}
+
+// SwapProfile replaces the remaining traffic schedule with p from the
+// current simulation time on — the what-if "what if the traffic had turned
+// into X at t" perturbation. Past-due setpoints of p apply immediately
+// (latest per region wins); regions p never mentions keep their levels.
+func (r *Result) SwapProfile(p *workload.Profile) error {
+	if r.Driver == nil {
+		return fmt.Errorf("engine: run has no traffic profile to swap")
+	}
+	return r.Driver.Swap(p)
 }

@@ -35,9 +35,10 @@ type RunState struct {
 	gen     workload.ClosedLoopState
 	pools   map[string]workload.ClosedLoopState
 	open    map[string]workload.OpenLoopState
-	fridge  *fridge.State      // nil unless the scheme is ServiceFridge
-	tel     *telemetry.State   // nil unless Config.Telemetry is bound
-	events  *obs.RecorderState // nil unless Config.Events records
+	driver  workload.DriverState // zero unless Config.Profile drives the run
+	fridge  *fridge.State        // nil unless the scheme is ServiceFridge
+	tel     *telemetry.State     // nil unless Config.Telemetry is bound
+	events  *obs.RecorderState   // nil unless Config.Events records
 	budget  power.Budget
 	freq    map[string][]FreqPoint
 }
@@ -70,6 +71,9 @@ func (r *Result) Snapshot() *RunState {
 	for region, ol := range r.OpenLoops {
 		s.open[region] = ol.Snapshot()
 	}
+	if r.Driver != nil {
+		s.driver = r.Driver.Snapshot()
+	}
 	if r.Fridge != nil {
 		s.fridge = r.Fridge.Snapshot()
 	}
@@ -100,6 +104,9 @@ func (r *Result) Restore(s *RunState) {
 	}
 	for region, ol := range r.OpenLoops {
 		ol.Restore(s.open[region])
+	}
+	if r.Driver != nil {
+		r.Driver.Restore(s.driver)
 	}
 	if r.Fridge != nil {
 		r.Fridge.Restore(s.fridge)

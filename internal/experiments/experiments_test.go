@@ -150,10 +150,10 @@ func TestCalibrationMemoized(t *testing.T) {
 
 func TestExtensionsRegistered(t *testing.T) {
 	exts := Extensions()
-	if len(exts) != 5 {
-		t.Fatalf("extensions = %d, want 5", len(exts))
+	if len(exts) != 6 {
+		t.Fatalf("extensions = %d, want 6", len(exts))
 	}
-	extIDs := []string{"ext-scale", "ext-openloop", "ext-events", "ext-critpath", "ext-slo"}
+	extIDs := []string{"ext-scale", "ext-openloop", "ext-events", "ext-critpath", "ext-slo", "ext-scenarios"}
 	for _, id := range extIDs {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("extension %s not resolvable via ByID", id)

@@ -21,6 +21,7 @@ var extensions = []Experiment{
 	{"ext-events", "Extension: controller event timeline (Figure-13-style narrative)", ExtEvents},
 	{"ext-critpath", "Extension: critical-path blame attribution vs MCF ranking (Kendall tau)", ExtCritPath},
 	{"ext-slo", "Extension: SLO time-to-violation and headroom vs power budget", ExtSLO},
+	{"ext-scenarios", "Extension: schemes under time-varying traffic shapes and trace replay", ExtScenarios},
 }
 
 // Extensions returns the beyond-the-paper experiments.

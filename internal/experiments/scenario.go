@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"servicefridge/internal/app"
 	"servicefridge/internal/cliutil"
 	"servicefridge/internal/engine"
 	"servicefridge/internal/schemes"
@@ -27,14 +28,19 @@ type Scenario struct {
 	Scheme string `json:"scheme,omitempty"`
 	// Budget is the power budget fraction in (0, 1] (0 = 1.0).
 	Budget float64 `json:"budget,omitempty"`
-	// Workers is the closed-loop worker count (0 = 50).
+	// Workers is the closed-loop worker count (0 = 50, or 0 = stopped
+	// when a workload section drives the traffic instead).
 	Workers int `json:"workers,omitempty"`
 	// MixA and MixB weight the two-region study mix (nil = 1). They are
-	// pointers so an explicit zero ("region B only") survives JSON.
+	// pointers so an explicit zero ("region B only") survives JSON, and
+	// they are wire-compat input only: normalization collapses them into
+	// Mix, so everything downstream sees one representation.
 	MixA *float64 `json:"mixA,omitempty"`
 	MixB *float64 `json:"mixB,omitempty"`
-	// Mix is a region→weight map for arbitrary specs. It conflicts with
-	// MixA/MixB; zero-weight entries are dropped during normalization.
+	// Mix is the region→weight map. It conflicts with MixA/MixB;
+	// zero-weight entries are dropped during normalization, and the
+	// normalized form always carries an explicit map (uniform over the
+	// app's regions by default).
 	Mix map[string]float64 `json:"mix,omitempty"`
 	// WarmupS and DurationS are the discarded and measured phases in
 	// seconds (0 = 5 and 30, matching the engine's own defaults).
@@ -42,9 +48,13 @@ type Scenario struct {
 	DurationS float64 `json:"duration_s,omitempty"`
 	// Seed is the run's random seed (0 = 1).
 	Seed uint64 `json:"seed,omitempty"`
-	// App selects the built-in application profile: "study" (default)
-	// or "full".
+	// App selects the built-in application family (app.BuiltinNames:
+	// "study" (default), "full", "socialnet").
 	App string `json:"app,omitempty"`
+	// Workload optionally makes the run's traffic time-varying: a
+	// registered profile or an inline trace driving per-region open
+	// loops (or worker pools). Nil keeps the steady closed-loop default.
+	Workload *workload.Spec `json:"workload,omitempty"`
 	// TickMS is the controller interval in milliseconds (0 = 1000).
 	TickMS float64 `json:"tick_ms,omitempty"`
 	// Telemetry configures the live-telemetry sampler attached to the
@@ -75,26 +85,30 @@ func (s Scenario) Normalize() (Scenario, error) {
 	if s.Budget <= 0 || s.Budget > 1 {
 		return s, fmt.Errorf("scenario: budget %v must be in (0, 1]", s.Budget)
 	}
-	if s.Workers == 0 {
+	if s.Workers == 0 && s.Workload == nil {
 		s.Workers = 50
 	}
 	if s.Workers < 0 {
 		return s, fmt.Errorf("scenario: workers %d must not be negative", s.Workers)
 	}
-	switch s.App {
-	case "":
+	if s.App == "" {
 		s.App = "study"
-	case "study", "full":
-	default:
-		return s, fmt.Errorf("scenario: unknown app %q (want study or full)", s.App)
 	}
+	if _, ok := app.Builtin(s.App); !ok {
+		return s, fmt.Errorf("scenario: unknown app %q (known: %s)",
+			s.App, strings.Join(app.BuiltinNames(), ", "))
+	}
+	spec, err := cliutil.LoadSpec(s.App, "")
+	if err != nil {
+		return s, err
+	}
+	// Collapse the legacy MixA/MixB pair into the Mix map: everything
+	// downstream of normalization sees one mix representation. The wire
+	// format still accepts mixA/mixB; the canonical form never carries
+	// them.
 	if len(s.Mix) > 0 {
 		if s.MixA != nil || s.MixB != nil {
 			return s, fmt.Errorf("scenario: mix conflicts with mixA/mixB")
-		}
-		spec, err := cliutil.LoadSpec(s.App, "")
-		if err != nil {
-			return s, err
 		}
 		clean := make(map[string]float64, len(s.Mix))
 		for region, w := range s.Mix {
@@ -112,21 +126,38 @@ func (s Scenario) Normalize() (Scenario, error) {
 			return s, fmt.Errorf("scenario: mix has no positive weights")
 		}
 		s.Mix = clean
-	} else {
-		s.Mix = nil
-		if s.MixA == nil {
-			s.MixA = ptr(1.0)
+	} else if s.MixA != nil || s.MixB != nil {
+		if spec.Region("A") == nil || spec.Region("B") == nil {
+			return s, fmt.Errorf("scenario: mixA/mixB need regions A and B; app %s has %s (use mix)",
+				s.App, strings.Join(spec.RegionNames(), ", "))
 		}
-		if s.MixB == nil {
-			s.MixB = ptr(1.0)
+		a, b := 1.0, 1.0
+		if s.MixA != nil {
+			a = *s.MixA
 		}
-		if *s.MixA < 0 || *s.MixB < 0 {
-			return s, fmt.Errorf("scenario: mixA %v and mixB %v must not be negative", *s.MixA, *s.MixB)
+		if s.MixB != nil {
+			b = *s.MixB
 		}
-		if *s.MixA == 0 && *s.MixB == 0 {
+		if a < 0 || b < 0 {
+			return s, fmt.Errorf("scenario: mixA %v and mixB %v must not be negative", a, b)
+		}
+		if a == 0 && b == 0 {
 			return s, fmt.Errorf("scenario: mixA and mixB must not both be zero")
 		}
+		s.Mix = map[string]float64{}
+		if a > 0 {
+			s.Mix["A"] = a
+		}
+		if b > 0 {
+			s.Mix["B"] = b
+		}
+	} else {
+		s.Mix = make(map[string]float64, len(spec.RegionNames()))
+		for _, region := range spec.RegionNames() {
+			s.Mix[region] = 1
+		}
 	}
+	s.MixA, s.MixB = nil, nil
 	if s.WarmupS == 0 {
 		s.WarmupS = 5
 	}
@@ -135,6 +166,13 @@ func (s Scenario) Normalize() (Scenario, error) {
 	}
 	if s.WarmupS < 0 || s.DurationS < 0 {
 		return s, fmt.Errorf("scenario: warmup_s %v and duration_s %v must not be negative", s.WarmupS, s.DurationS)
+	}
+	if s.Workload != nil {
+		w, err := s.Workload.Normalize(s.WarmupS + s.DurationS)
+		if err != nil {
+			return s, fmt.Errorf("scenario: %v", err)
+		}
+		s.Workload = &w
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
@@ -195,22 +233,24 @@ func (s Scenario) Config() (engine.Config, error) {
 	if err != nil {
 		return engine.Config{}, err
 	}
-	var mix *workload.Mix
-	if len(s.Mix) > 0 {
-		mix = workload.NewMix(spec.RegionNames(), s.Mix)
-	} else {
-		mix = cliutil.MixFor(spec, *s.MixA, *s.MixB)
-	}
 	cfg := engine.Config{
 		Seed:            s.Seed,
 		Spec:            spec,
 		Scheme:          engine.SchemeName(s.Scheme),
 		BudgetFraction:  s.Budget,
 		Workers:         s.Workers,
-		Mix:             mix,
+		Mix:             workload.NewMix(spec.RegionNames(), s.Mix),
 		Warmup:          s.Warmup(),
 		Duration:        s.Duration(),
 		ControlInterval: secs(s.TickMS / 1000),
+	}
+	if s.Workload != nil {
+		prof, err := s.Workload.Build(spec.RegionNames(), s.Seed)
+		if err != nil {
+			return engine.Config{}, fmt.Errorf("scenario: %v", err)
+		}
+		cfg.Profile = prof
+		cfg.ProfileClosed = s.Workload.Closed
 	}
 	return cfg, cfg.Validate()
 }
@@ -229,9 +269,10 @@ func (s Scenario) NewTelemetry() *telemetry.Telemetry {
 	return telemetry.New(opt)
 }
 
-// LoadScenario decodes one JSON scenario from r, rejecting unknown fields
-// and trailing data, and returns it normalized.
-func LoadScenario(r io.Reader) (Scenario, error) {
+// DecodeScenario decodes one JSON scenario from r, rejecting unknown
+// fields and trailing data, without normalizing — for callers that layer
+// overrides (CLI flags) on top before normalization.
+func DecodeScenario(r io.Reader) (Scenario, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var s Scenario
@@ -240,6 +281,16 @@ func LoadScenario(r io.Reader) (Scenario, error) {
 	}
 	if dec.More() {
 		return s, fmt.Errorf("scenario: trailing data after the JSON document")
+	}
+	return s, nil
+}
+
+// LoadScenario decodes one JSON scenario from r, rejecting unknown fields
+// and trailing data, and returns it normalized.
+func LoadScenario(r io.Reader) (Scenario, error) {
+	s, err := DecodeScenario(r)
+	if err != nil {
+		return s, err
 	}
 	return s.Normalize()
 }

@@ -18,9 +18,15 @@ func TestScenarioZeroIsTable4(t *testing.T) {
 		t.Fatalf("Normalize: %v", err)
 	}
 	if s.Scheme != "Baseline" || s.Budget != 1.0 || s.Workers != 50 ||
-		*s.MixA != 1 || *s.MixB != 1 || s.WarmupS != 5 || s.DurationS != 30 ||
+		s.WarmupS != 5 || s.DurationS != 30 ||
 		s.Seed != 1 || s.App != "study" || s.TickMS != 1000 {
 		t.Fatalf("unexpected normalized defaults: %+v", s)
+	}
+	if s.MixA != nil || s.MixB != nil {
+		t.Fatalf("normalization kept legacy mixA/mixB: %+v", s)
+	}
+	if len(s.Mix) != 2 || s.Mix["A"] != 1 || s.Mix["B"] != 1 {
+		t.Fatalf("unexpected normalized mix: %+v", s.Mix)
 	}
 	tel := s.Telemetry
 	if tel == nil || tel.IntervalMS != 1000 || tel.WindowTicks != 10 || tel.SLOTargetMS != 100 {
@@ -47,6 +53,29 @@ func TestScenarioCanonicalBytes(t *testing.T) {
 	jb, _ := json.Marshal(b)
 	if string(ja) != string(jb) {
 		t.Fatalf("normalized marshals differ:\n%s\n%s", ja, jb)
+	}
+	// The legacy mixA/mixB pair and the equivalent mix map collapse to the
+	// same canonical bytes.
+	c, err := LoadScenario(strings.NewReader(`{"mixA":2,"mixB":1}`))
+	if err != nil {
+		t.Fatalf("load c: %v", err)
+	}
+	d, err := LoadScenario(strings.NewReader(`{"mix":{"A":2,"B":1}}`))
+	if err != nil {
+		t.Fatalf("load d: %v", err)
+	}
+	jc, _ := json.Marshal(c)
+	jd, _ := json.Marshal(d)
+	if string(jc) != string(jd) {
+		t.Fatalf("mixA/mixB did not collapse into mix:\n%s\n%s", jc, jd)
+	}
+	// An explicit zero drops the region from the canonical map.
+	e, err := LoadScenario(strings.NewReader(`{"mixA":0,"mixB":1}`))
+	if err != nil {
+		t.Fatalf("load e: %v", err)
+	}
+	if len(e.Mix) != 1 || e.Mix["B"] != 1 {
+		t.Fatalf("zero mixA survived the collapse: %+v", e.Mix)
 	}
 }
 
@@ -117,6 +146,8 @@ func TestScenarioValidation(t *testing.T) {
 		{Mix: map[string]float64{"Z": 1}},
 		{Mix: map[string]float64{"A": 0}},
 		{MixA: ptr(0.0), MixB: ptr(0.0)},
+		{MixA: ptr(-1.0)},
+		{App: "socialnet", MixA: ptr(1)},
 		{WarmupS: -1},
 		{TickMS: -5},
 	}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"servicefridge/internal/workload"
+)
+
+// The committed testdata artifacts (the diurnal day trace and the
+// scenarios CI replays) must stay in sync with the generators and with
+// each other; these tests pin them so drift fails loudly.
+
+const (
+	traceFile     = "../../testdata/traces/diurnal_day.csv"
+	traceScenario = "../../testdata/scenarios/trace_replay.json"
+	crowdScenario = "../../testdata/scenarios/flash_crowd.json"
+)
+
+// TestCommittedTraceMatchesGenerator: diurnal_day.csv is exactly the
+// diurnal generator's output for the documented parameters, so the file
+// can always be regenerated from first principles.
+func TestCommittedTraceMatchesGenerator(t *testing.T) {
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("read committed trace: %v", err)
+	}
+	reg, _ := workload.Lookup("diurnal")
+	prof, err := reg.New(workload.GenInput{
+		Regions: []string{"A", "B"},
+		Rates:   map[string]float64{"A": 2, "B": 24},
+		Horizon: 35 * time.Second,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatalf("diurnal: %v", err)
+	}
+	var want bytes.Buffer
+	if err := workload.WriteTrace(&want, prof); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if !bytes.Equal(data, want.Bytes()) {
+		t.Fatal("testdata/traces/diurnal_day.csv drifted from the diurnal generator " +
+			"(regions A/B, rates 2/24, horizon 35s, seed 1); regenerate it")
+	}
+	if _, err := workload.ParseTrace(bytes.NewReader(data)); err != nil {
+		t.Fatalf("committed trace does not parse: %v", err)
+	}
+}
+
+// TestCommittedScenariosNormalize: both committed scenarios load and
+// normalize, and the trace-replay scenario's inline trace is the
+// committed CSV byte-for-byte — a session POSTing the scenario and a CLI
+// run replaying the file execute the same schedule.
+func TestCommittedScenariosNormalize(t *testing.T) {
+	for _, path := range []string{traceScenario, crowdScenario} {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("open %s: %v", path, err)
+		}
+		sc, err := LoadScenario(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if _, err := sc.Config(); err != nil {
+			t.Fatalf("%s: Config: %v", path, err)
+		}
+	}
+
+	f, err := os.Open(traceScenario)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	sc, err := DecodeScenario(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	csv, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	if sc.Workload == nil || sc.Workload.Trace != string(csv) {
+		t.Fatal("trace_replay.json's inline trace is not the committed diurnal_day.csv")
+	}
+	if !strings.Contains(sc.Workload.Trace, workload.TraceHeader) {
+		t.Fatal("inline trace lost its CSV header")
+	}
+}

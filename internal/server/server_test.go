@@ -372,3 +372,63 @@ func TestLRUEvictsOldestFinished(t *testing.T) {
 		}
 	}
 }
+
+// TestWhatIfWorkloadPerturbations covers the traffic-side what-if surface:
+// scaling the live profile, swapping it for another registered shape, and
+// the validation around both.
+func TestWhatIfWorkloadPerturbations(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	const wlScenario = `{"scheme":"ServiceFridge","budget":0.8,"warmup_s":1,"duration_s":3,"seed":3,` +
+		`"workload":{"profile":"diurnal","rate":25}}`
+	id := createSession(t, ts, wlScenario)
+	waitState(t, ts, id, StateDone)
+
+	for _, query := range []string{
+		`{"at_s":1.5,"rate_factor":2}`,
+		`{"at_s":1.5,"profile":"flash-crowd"}`,
+		`{"at_s":1.5,"profile":"burst","rate":40}`,
+	} {
+		code, b1 := doReq(t, "POST", ts.URL+"/sessions/"+id+"/whatif", query)
+		if code != http.StatusOK {
+			t.Fatalf("whatif %s: %d: %s", query, code, b1)
+		}
+		_, b2 := doReq(t, "POST", ts.URL+"/sessions/"+id+"/whatif", query)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("whatif %s: identical queries returned different bodies", query)
+		}
+		var doc whatIfDoc
+		if err := json.Unmarshal(b1, &doc); err != nil {
+			t.Fatalf("whatif %s: unmarshal: %v", query, err)
+		}
+		if doc.Baseline == doc.Perturbed {
+			t.Fatalf("whatif %s: perturbation had no effect", query)
+		}
+	}
+
+	// The detour must stay invisible.
+	_, after := doReq(t, "GET", ts.URL+"/sessions/"+id+"/result", "")
+	fresh := createSession(t, ts, wlScenario)
+	waitState(t, ts, fresh, StateDone)
+	_, want := doReq(t, "GET", ts.URL+"/sessions/"+fresh+"/result", "")
+	if !bytes.Equal(after, want) {
+		t.Fatal("result changed after workload what-ifs")
+	}
+
+	// Validation: bad bodies are 400s, a traffic perturbation against a
+	// session with no workload section is a 422.
+	for _, bad := range []string{
+		`{"at_s":1,"rate_factor":-1}`,
+		`{"at_s":1,"profile":"no-such-shape"}`,
+		`{"at_s":1,"rate":40}`,
+	} {
+		if code, _ := doReq(t, "POST", ts.URL+"/sessions/"+id+"/whatif", bad); code != http.StatusBadRequest {
+			t.Errorf("whatif %s: %d, want 400", bad, code)
+		}
+	}
+	steady := createSession(t, ts, shortScenario)
+	waitState(t, ts, steady, StateDone)
+	code, body := doReq(t, "POST", ts.URL+"/sessions/"+steady+"/whatif", `{"at_s":1,"rate_factor":2}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("rate_factor without a workload: %d (%s), want 422", code, body)
+	}
+}

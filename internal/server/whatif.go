@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
+	"time"
 
 	"servicefridge/internal/cluster"
 	"servicefridge/internal/engine"
 	"servicefridge/internal/experiments"
 	"servicefridge/internal/sim"
 	"servicefridge/internal/telemetry"
+	"servicefridge/internal/workload"
 )
 
 // WhatIfRequest is the POST /sessions/{id}/whatif body: fork the session
@@ -25,14 +28,25 @@ type WhatIfRequest struct {
 	MaxFreqGHz float64 `json:"max_freq_ghz,omitempty"`
 	// LoadFactor multiplies the closed-loop worker count.
 	LoadFactor float64 `json:"load_factor,omitempty"`
+	// RateFactor scales the session's time-varying traffic profile from
+	// the fork point on. Requires a scenario with a workload section.
+	RateFactor float64 `json:"rate_factor,omitempty"`
+	// Profile swaps the traffic profile at the fork point to a registered
+	// generator ("diurnal", "flash-crowd", ...). Requires a workload
+	// section; the generated schedule covers the rest of the run.
+	Profile string `json:"profile,omitempty"`
+	// Rate is the base per-region level for the swapped Profile. Zero
+	// inherits the scenario workload's own rate (trace-driven sessions
+	// carry no rate, so there it is required).
+	Rate float64 `json:"rate,omitempty"`
 }
 
 func (q WhatIfRequest) validate() error {
 	if q.AtS < 0 {
 		return fmt.Errorf("at_s %v must not be negative", q.AtS)
 	}
-	if q.Budget == 0 && q.MaxFreqGHz == 0 && q.LoadFactor == 0 {
-		return fmt.Errorf("what-if needs at least one perturbation (budget, max_freq_ghz, load_factor)")
+	if q.Budget == 0 && q.MaxFreqGHz == 0 && q.LoadFactor == 0 && q.RateFactor == 0 && q.Profile == "" {
+		return fmt.Errorf("what-if needs at least one perturbation (budget, max_freq_ghz, load_factor, rate_factor, profile)")
 	}
 	if q.Budget < 0 || q.Budget > 1 {
 		return fmt.Errorf("budget %v must be in (0, 1]", q.Budget)
@@ -42,6 +56,21 @@ func (q WhatIfRequest) validate() error {
 	}
 	if q.LoadFactor < 0 {
 		return fmt.Errorf("load_factor %v must not be negative", q.LoadFactor)
+	}
+	if q.RateFactor < 0 {
+		return fmt.Errorf("rate_factor %v must not be negative", q.RateFactor)
+	}
+	if q.Profile != "" {
+		if _, ok := workload.Lookup(q.Profile); !ok {
+			return fmt.Errorf("unknown profile %q (known: %s)",
+				q.Profile, strings.Join(workload.Names(), ", "))
+		}
+	}
+	if q.Rate < 0 {
+		return fmt.Errorf("rate %v must not be negative", q.Rate)
+	}
+	if q.Rate != 0 && q.Profile == "" {
+		return fmt.Errorf("rate needs profile")
 	}
 	return nil
 }
@@ -122,6 +151,51 @@ func branchStats(res *engine.Result, tel *telemetry.Telemetry) branchDoc {
 func (s *session) execWhatif(res *engine.Result, base *engine.RunState, cmd *whatifCmd) {
 	paused := res.Engine.Now()
 	at := sim.Time(cmd.req.AtS * 1e9)
+
+	// Traffic perturbations are validated — and the swap profile built —
+	// before any fork, so a bad query fails fast with the session
+	// untouched. Everything derives from (scenario, query) alone, keeping
+	// the response deterministic.
+	var swap *workload.Profile
+	if cmd.req.RateFactor != 0 || cmd.req.Profile != "" {
+		if res.Driver == nil {
+			cmd.fail(statusUnprocessable,
+				"session has no time-varying workload (rate_factor/profile need a scenario workload section)")
+			return
+		}
+	}
+	if cmd.req.Profile != "" {
+		rate := cmd.req.Rate
+		if rate == 0 && s.scenario.Workload != nil {
+			rate = s.scenario.Workload.Rate
+		}
+		if rate <= 0 {
+			cmd.fail(statusUnprocessable,
+				"rate is required to swap the profile of a trace-driven session")
+			return
+		}
+		reg, _ := workload.Lookup(cmd.req.Profile) // validated on parse
+		// Generate over the regions the live profile drives — a trace may
+		// cover a subset of the app's regions, and only those have
+		// generators to swap onto.
+		regions := res.Config.Profile.Regions()
+		rates := make(map[string]float64, len(regions))
+		for _, r := range regions {
+			rates[r] = rate
+		}
+		prof, err := reg.New(workload.GenInput{
+			Regions: regions,
+			Rates:   rates,
+			Horizon: time.Duration(res.Total()),
+			Seed:    s.scenario.Seed,
+		})
+		if err != nil {
+			cmd.fail(statusUnprocessable, err.Error())
+			return
+		}
+		swap = prof
+	}
+
 	s.tel.SetPublishing(false)
 	defer s.tel.SetPublishing(true)
 
@@ -154,6 +228,24 @@ func (s *session) execWhatif(res *engine.Result, base *engine.RunState, cmd *wha
 	}
 	if cmd.req.LoadFactor != 0 {
 		res.ScaleWorkers(cmd.req.LoadFactor)
+	}
+	if cmd.req.RateFactor != 0 {
+		if err := res.ScaleTraffic(cmd.req.RateFactor); err != nil { // unreachable: checked pre-fork
+			cmd.fail(statusInternal, err.Error())
+			if rerr := resume(); rerr != nil {
+				s.setState(StateFailed, rerr.Error())
+			}
+			return
+		}
+	}
+	if swap != nil {
+		if err := res.SwapProfile(swap); err != nil { // unreachable: checked pre-fork
+			cmd.fail(statusInternal, err.Error())
+			if rerr := resume(); rerr != nil {
+				s.setState(StateFailed, rerr.Error())
+			}
+			return
+		}
 	}
 	res.Finish()
 	perturbed := branchStats(res, s.tel)

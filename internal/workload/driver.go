@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"servicefridge/internal/sim"
+)
+
+// Driver applies a Profile to a run's per-region generators as simulation
+// time passes. Setpoints drive open-loop arrival rates (SetRate) by
+// default, or closed-loop worker counts (SetWorkers) in closed mode. The
+// driver schedules one calendar wakeup at a time and invalidates pending
+// wakeups with an epoch counter — the same pattern OpenLoop.SetRate uses —
+// so the remaining schedule can be swapped or scaled mid-run (the what-if
+// perturbations) without pre-scheduled setpoints clobbering the change.
+type Driver struct {
+	eng    *sim.Engine
+	open   map[string]*OpenLoop
+	pools  map[string]*ClosedLoop
+	closed bool
+
+	prof  *Profile
+	next  int // index of the first un-applied point
+	epoch int // invalidates scheduled wakeups on Swap
+	// scale multiplies every applied setpoint; current remembers the last
+	// applied base (unscaled) level per region so a scale change can
+	// re-apply deterministically.
+	scale   float64
+	current map[string]float64
+}
+
+// NewDriver wires a profile to the run's generator maps. The maps are
+// shared with the engine's Result, so generators restored by a snapshot
+// stay driven. Every profile region must have a generator in the matching
+// map; the engine guarantees this by construction.
+func NewDriver(eng *sim.Engine, prof *Profile, open map[string]*OpenLoop,
+	pools map[string]*ClosedLoop, closed bool) *Driver {
+	return &Driver{
+		eng: eng, open: open, pools: pools, closed: closed,
+		prof: prof, scale: 1, current: map[string]float64{},
+	}
+}
+
+// Profile returns the schedule currently driving the run.
+func (d *Driver) Profile() *Profile { return d.prof }
+
+// Scale returns the current traffic multiplier.
+func (d *Driver) Scale() float64 { return d.scale }
+
+// Start arms the first setpoint. Call once, at build time.
+func (d *Driver) Start() { d.arm() }
+
+// arm schedules a wakeup for the next un-applied point, if any.
+func (d *Driver) arm() {
+	if d.next >= len(d.prof.Points) {
+		return
+	}
+	epoch := d.epoch
+	d.eng.ScheduleAt(sim.Time(d.prof.Points[d.next].At), func() { d.fire(epoch) })
+}
+
+// fire applies every point sharing the due time, in profile order, then
+// re-arms. A stale epoch means the schedule was swapped after this wakeup
+// was placed.
+func (d *Driver) fire(epoch int) {
+	if epoch != d.epoch {
+		return
+	}
+	at := d.prof.Points[d.next].At
+	for d.next < len(d.prof.Points) && d.prof.Points[d.next].At == at {
+		pt := d.prof.Points[d.next]
+		d.next++
+		d.current[pt.Region] = pt.Rate
+		d.apply(pt.Region)
+	}
+	d.arm()
+}
+
+// apply pushes a region's scaled setpoint into its generator.
+func (d *Driver) apply(region string) {
+	base, ok := d.current[region]
+	if !ok {
+		return
+	}
+	if d.closed {
+		if pool := d.pools[region]; pool != nil {
+			pool.SetWorkers(int(math.Round(base * d.scale)))
+		}
+		return
+	}
+	if ol := d.open[region]; ol != nil {
+		ol.SetRate(base * d.scale)
+	}
+}
+
+// SetScale multiplies every applied setpoint by factor, re-applying the
+// current levels immediately (in sorted region order, so the RNG draws of
+// rate changes happen in a deterministic sequence) and all future ones as
+// they fire.
+func (d *Driver) SetScale(factor float64) {
+	if factor < 0 {
+		factor = 0
+	}
+	d.scale = factor
+	for _, region := range sortedRegions(d.current) {
+		d.apply(region)
+	}
+}
+
+// Swap replaces the remaining schedule with p from the current simulation
+// time on: past-due setpoints of p apply immediately (latest per region
+// wins), future ones fire on schedule, and regions p never mentions keep
+// their current levels. Every region of p must have a generator to drive.
+func (d *Driver) Swap(p *Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, region := range p.Regions() {
+		if d.closed {
+			if d.pools[region] == nil {
+				return fmt.Errorf("workload: swapped profile names region %q with no worker pool", region)
+			}
+		} else if d.open[region] == nil {
+			return fmt.Errorf("workload: swapped profile names region %q with no open loop", region)
+		}
+	}
+	now := time.Duration(d.eng.Now())
+	d.prof = p
+	d.epoch++
+	d.next = 0
+	for d.next < len(p.Points) && p.Points[d.next].At <= now {
+		pt := p.Points[d.next]
+		d.current[pt.Region] = pt.Rate
+		d.next++
+	}
+	for _, region := range sortedRegions(d.current) {
+		d.apply(region)
+	}
+	d.arm()
+	return nil
+}
+
+func sortedRegions(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

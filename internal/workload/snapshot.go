@@ -69,3 +69,37 @@ func (o *OpenLoop) Restore(s OpenLoopState) {
 	o.running = s.running
 	o.epoch = s.epoch
 }
+
+// DriverState is a snapshot of a profile driver. The profile pointer is
+// captured as-is (profiles are immutable; Swap replaces the pointer).
+type DriverState struct {
+	prof    *Profile
+	next    int
+	epoch   int
+	scale   float64
+	current map[string]float64
+}
+
+// Snapshot captures the driver's schedule position.
+func (d *Driver) Snapshot() DriverState {
+	cur := make(map[string]float64, len(d.current))
+	for r, v := range d.current {
+		cur[r] = v
+	}
+	return DriverState{prof: d.prof, next: d.next, epoch: d.epoch, scale: d.scale, current: cur}
+}
+
+// Restore rewinds the driver to the snapshot. Pending wakeups live in the
+// engine calendar, which the caller restores alongside; the epoch makes
+// any wakeup from a later schedule inert.
+func (d *Driver) Restore(s DriverState) {
+	d.prof = s.prof
+	d.next = s.next
+	d.epoch = s.epoch
+	d.scale = s.scale
+	cur := make(map[string]float64, len(s.current))
+	for r, v := range s.current {
+		cur[r] = v
+	}
+	d.current = cur
+}

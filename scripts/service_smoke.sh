@@ -91,12 +91,14 @@ await_done() {
   return 1
 }
 
-# Two independent sessions of the same scenario: the control plane
-# assigns ids deterministically (s1, s2).
+# Two independent sessions of the same scenario, plus one trace-driven
+# session: the control plane assigns ids deterministically (s1, s2, s3).
 req POST /sessions "$GOLDEN/scenario.json" > /dev/null
 req POST /sessions "$GOLDEN/scenario.json" > /dev/null
+req POST /sessions "$GOLDEN/scenario_trace.json" > /dev/null
 await_done s1
 await_done s2
+await_done s3
 
 req GET /sessions/s1/result > "$OUT/result_s1.json"
 req GET /sessions/s2/result > "$OUT/result_s2.json"
@@ -105,11 +107,19 @@ req POST /sessions/s2/whatif "$GOLDEN/whatif.json" > "$OUT/whatif_s2.json"
 # The what-if fork must leave the session's result untouched.
 req GET /sessions/s1/result > "$OUT/result_s1_after.json"
 
-echo "service_smoke: two sessions completed on $BASE"
+# The trace-driven session: replay an inline t,region,rate trace, then a
+# what-if that swaps the traffic profile to flash-crowd mid-run.
+req GET /sessions/s3/result > "$OUT/result_s3.json"
+req POST /sessions/s3/whatif "$GOLDEN/whatif_swap.json" > "$OUT/whatif_s3.json"
+req GET /sessions/s3/result > "$OUT/result_s3_after.json"
+
+echo "service_smoke: three sessions completed on $BASE"
 
 if [ "$UPDATE" = 1 ]; then
   cp "$OUT/result_s1.json" "$GOLDEN/result.golden.json"
   cp "$OUT/whatif_s1.json" "$GOLDEN/whatif.golden.json"
+  cp "$OUT/result_s3.json" "$GOLDEN/result_trace.golden.json"
+  cp "$OUT/whatif_s3.json" "$GOLDEN/whatif_swap.golden.json"
   echo "service_smoke: goldens rewritten in $GOLDEN"
   exit 0
 fi
@@ -124,5 +134,11 @@ diff "$GOLDEN/result.golden.json" "$OUT/result_s1.json" \
   || { echo "service_smoke: /result drifted from the committed golden (run scripts/service_smoke.sh -update)" >&2; exit 1; }
 diff "$GOLDEN/whatif.golden.json" "$OUT/whatif_s1.json" \
   || { echo "service_smoke: /whatif drifted from the committed golden (run scripts/service_smoke.sh -update)" >&2; exit 1; }
+diff "$OUT/result_s3.json" "$OUT/result_s3_after.json" \
+  || { echo "service_smoke: profile-swap what-if changed the trace session result" >&2; exit 1; }
+diff "$GOLDEN/result_trace.golden.json" "$OUT/result_s3.json" \
+  || { echo "service_smoke: trace /result drifted from the committed golden (run scripts/service_smoke.sh -update)" >&2; exit 1; }
+diff "$GOLDEN/whatif_swap.golden.json" "$OUT/whatif_s3.json" \
+  || { echo "service_smoke: profile-swap /whatif drifted from the committed golden (run scripts/service_smoke.sh -update)" >&2; exit 1; }
 
 echo "service_smoke: results byte-identical across sessions and goldens"
