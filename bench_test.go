@@ -23,6 +23,7 @@ import (
 	"servicefridge/internal/experiments"
 	"servicefridge/internal/fridge"
 	"servicefridge/internal/metrics"
+	"servicefridge/internal/obs"
 	"servicefridge/internal/sim"
 	"servicefridge/internal/telemetry"
 	"servicefridge/internal/trace"
@@ -493,6 +494,36 @@ func BenchmarkRequestExecution(b *testing.B) {
 	}
 	if res.Executor.Completed() != uint64(b.N) {
 		b.Fatalf("completed %d of %d", res.Executor.Completed(), b.N)
+	}
+}
+
+// BenchmarkLedgerTick measures one run-ledger tick: folding a typical
+// control interval's worth of cause-bearing events into the pending
+// accumulator (this happens inside Recorder.Emit, on the deterministic
+// sim loop) and sealing the entry against state and RNG digests. Gated
+// allocation-free via bench_gates.json; the entries slice grows
+// amortized, which rounds to 0 allocs/op.
+func BenchmarkLedgerTick(b *testing.B) {
+	rec := obs.NewRecorder(1024)
+	led := obs.NewLedger()
+	rec.SetLedger(led)
+	// Box the event values once: the interface conversion at an Emit call
+	// site is the emitter's (pre-existing) cost; this benchmark gates the
+	// ledger fold+seal path.
+	var freq obs.Event = obs.FreqChange{Server: "server3", Zone: "warm", GHz: 1.8,
+		Cause: obs.Cause{Signal: "budget-fit", Value: 315.2, Bound: 400}}
+	var mig obs.Event = obs.Migration{Service: "seat", From: "server1", To: "server5", Zone: "warm",
+		Cause: obs.Cause{Signal: "mcf-rank", Value: 0.41, Bound: 3.2}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := sim.Time(i) * sim.Time(time.Second)
+		rec.Emit(at, freq)
+		rec.Emit(at, mig)
+		led.Seal(at, uint64(i), uint64(i)*3)
+	}
+	if led.Len() != b.N {
+		b.Fatalf("sealed %d of %d ticks", led.Len(), b.N)
 	}
 }
 

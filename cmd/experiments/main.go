@@ -10,6 +10,7 @@
 //	experiments -run all -parallel 8
 //	experiments -run fig15 -warmstart
 //	experiments -run all -events events.jsonl
+//	experiments -run all -ledger run.ledger.jsonl
 //	experiments -run ext-slo -timeseries telemetry.csv
 //	experiments -run ext-critpath -traces traces.json -trace-sample 0.05
 //	experiments -run fig15 -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -30,7 +31,9 @@
 // canonical study run and writes its request traces as Zipkin v2 JSON,
 // deterministically sampled at -trace-sample; -timeseries executes the
 // same canonical scenario with telemetry bound and writes the sampled
-// time series as CSV. All exports are byte-identical across -parallel
+// time series as CSV; -ledger executes it with a run ledger attached and
+// writes the hash-chained tick digests as JSONL (localize any divergence
+// with cmd/simdiff). All exports are byte-identical across -parallel
 // widths. -cpuprofile/-memprofile write pprof profiles of the
 // regeneration itself.
 package main
@@ -115,6 +118,14 @@ func run() int {
 		}
 	}
 
+	// Export destinations are probed before any simulation runs: an
+	// unwritable path fails the command in milliseconds, not after the
+	// full regeneration.
+	if err := cliutil.CheckWritable(exports.Events, exports.Traces, exports.Ledger, telFlags.Timeseries); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -186,6 +197,16 @@ func run() int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "(telemetry time series written to %s)\n", telFlags.Timeseries)
+	}
+
+	if exports.Ledger != "" {
+		if err := cliutil.ExportFile(exports.Ledger, func(w io.Writer) error {
+			return experiments.ExportLedgerJSONL(*seed, w)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "ledger: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "(run ledger written to %s)\n", exports.Ledger)
 	}
 
 	if *memprofile != "" {

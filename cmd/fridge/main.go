@@ -5,6 +5,7 @@
 //
 //	fridge -scheme ServiceFridge -budget 0.8 -workers 50 -mixA 30 -mixB 20 -duration 30s
 //	fridge -scheme ServiceFridge -budget 0.8 -timeseries run.csv
+//	fridge -scheme ServiceFridge -ledger run.ledger.jsonl     # hash-chained run ledger (diff with cmd/simdiff)
 //	fridge -workload diurnal -rate 40 -app socialnet          # time-varying open-loop traffic
 //	fridge -trace testdata/traces/diurnal_day.csv             # replay a recorded t,region,rate trace
 //	fridge -scheme ServiceFridge -budget 0.8 -listen :8080   # live /metrics + control plane
@@ -118,7 +119,7 @@ func main() {
 	// Everything below validates before any listener binds: a bad sweep
 	// spec, flag combination or configuration must not leak a socket.
 	if *sweep != "" {
-		if exports.Events != "" || exports.Traces != "" || telFlags.Timeseries != "" || telFlags.Listen != "" {
+		if exports.Events != "" || exports.Traces != "" || exports.Ledger != "" || telFlags.Timeseries != "" || telFlags.Listen != "" {
 			fmt.Fprintln(os.Stderr, "fridge: -sweep does not combine with exports or -listen")
 			os.Exit(1)
 		}
@@ -145,9 +146,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Export destinations are probed before the run (and before any
+	// listener binds): an unwritable path fails now, not after minutes of
+	// simulation.
+	if err := cliutil.CheckWritable(exports.Events, exports.Traces, exports.Ledger, telFlags.Timeseries); err != nil {
+		fmt.Fprintf(os.Stderr, "fridge: %v\n", err)
+		os.Exit(1)
+	}
 
 	if exports.Events != "" {
 		cfg.Events = obs.NewRecorder(0)
+	}
+	if exports.Ledger != "" {
+		cfg.Ledger = obs.NewLedger()
 	}
 	tel := telFlags.New(*warmup)
 	cfg.Telemetry = tel
@@ -188,6 +199,13 @@ func main() {
 	if exports.Events != "" {
 		if err := cliutil.ExportFile(exports.Events, cfg.Events.WriteJSONL); err != nil {
 			fmt.Fprintf(os.Stderr, "events: %v\n", err)
+			os.Exit(1)
+		}
+		cliutil.WarnDropped(os.Stderr, cfg.Events)
+	}
+	if exports.Ledger != "" {
+		if err := cliutil.ExportFile(exports.Ledger, cfg.Ledger.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "ledger: %v\n", err)
 			os.Exit(1)
 		}
 	}

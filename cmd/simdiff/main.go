@@ -1,0 +1,270 @@
+// Command simdiff localizes the first divergence between two simulation
+// runs. Given two run ledgers (see cmd/fridge -ledger) it names the first
+// divergent tick and which components (event stream, engine state, RNG
+// cursor) first disagreed there; given two event or timeseries JSONL
+// files — or any line-oriented text — it reports the first differing
+// line. With the event streams at hand it also prints the divergent
+// tick's cause-bearing events from both sides, so a CI determinism
+// failure reads as "tick 12: freq_change on serverC2, budget-fit 612W vs
+// cap 580W" instead of a multi-megabyte diff.
+//
+// Usage:
+//
+//	simdiff [-report out.txt] [-events a.jsonl,b.jsonl] fileA fileB
+//
+// Exit status: 0 when the inputs are identical, 1 when they diverge,
+// 2 on usage or read errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"servicefridge/internal/obs"
+	"servicefridge/internal/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	report := fs.String("report", "", "also write the divergence report to this file")
+	events := fs.String("events", "", "comma-separated pair of event JSONL files (a,b) to explain a ledger divergence from")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: simdiff [-report out.txt] [-events a.jsonl,b.jsonl] fileA fileB\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	var evA, evB string
+	if *events != "" {
+		parts := strings.Split(*events, ",")
+		if len(parts) != 2 {
+			fmt.Fprintf(stderr, "simdiff: -events wants exactly two comma-separated files, got %q\n", *events)
+			return 2
+		}
+		evA, evB = parts[0], parts[1]
+	}
+
+	var out strings.Builder
+	status, err := diff(&out, fs.Arg(0), fs.Arg(1), evA, evB)
+	if err != nil {
+		fmt.Fprintf(stderr, "simdiff: %v\n", err)
+		return 2
+	}
+	io.WriteString(stdout, out.String())
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(out.String()), 0o644); err != nil {
+			fmt.Fprintf(stderr, "simdiff: %v\n", err)
+			return 2
+		}
+	}
+	return status
+}
+
+// diff compares two files, writing the report to w and returning 0
+// (identical) or 1 (divergent).
+func diff(w io.Writer, pathA, pathB, evA, evB string) (int, error) {
+	a, err := os.ReadFile(pathA)
+	if err != nil {
+		return 0, err
+	}
+	b, err := os.ReadFile(pathB)
+	if err != nil {
+		return 0, err
+	}
+	if isLedger(a) && isLedger(b) {
+		return diffLedgers(w, pathA, pathB, a, b, evA, evB)
+	}
+	return diffLines(w, pathA, pathB, a, b)
+}
+
+// isLedger recognizes the ledger JSONL format by its fixed first fields.
+func isLedger(data []byte) bool {
+	line := firstLine(data)
+	return strings.HasPrefix(line, `{"t":`) && strings.Contains(line, `"chain":"`)
+}
+
+func firstLine(data []byte) string {
+	if i := strings.IndexByte(string(data), '\n'); i >= 0 {
+		return string(data[:i])
+	}
+	return string(data)
+}
+
+// diffLedgers parses both ledgers and localizes the first divergent tick,
+// naming the components that first disagreed and — when the event streams
+// are supplied — the cause-bearing events of the divergent tick window.
+func diffLedgers(w io.Writer, pathA, pathB string, a, b []byte, evA, evB string) (int, error) {
+	la, err := obs.ReadLedger(strings.NewReader(string(a)))
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", pathA, err)
+	}
+	lb, err := obs.ReadLedger(strings.NewReader(string(b)))
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", pathB, err)
+	}
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for t := 0; t < n; t++ {
+		ea, eb := la[t], lb[t]
+		if ea == eb {
+			continue
+		}
+		fmt.Fprintf(w, "ledger: first divergence at tick %d (at=%d)\n", t, ea.At)
+		component := func(name string, va, vb uint64) {
+			verdict := "equal"
+			if va != vb {
+				verdict = "DIFFER"
+			}
+			fmt.Fprintf(w, "  %-7s a=%016x b=%016x  %s\n", name, va, vb, verdict)
+		}
+		if ea.At != eb.At {
+			fmt.Fprintf(w, "  time:   a=%d b=%d  DIFFER (seal schedules disagree)\n", ea.At, eb.At)
+		}
+		component("events:", ea.Events, eb.Events)
+		component("state:", ea.State, eb.State)
+		component("rng:", ea.RNG, eb.RNG)
+		component("chain:", ea.Chain, eb.Chain)
+		if ea.N != eb.N {
+			fmt.Fprintf(w, "  event count in tick: a=%d b=%d\n", ea.N, eb.N)
+		}
+		explainTick(w, la, t, evA, "a")
+		explainTick(w, lb, t, evB, "b")
+		return 1, nil
+	}
+	if len(la) != len(lb) {
+		fmt.Fprintf(w, "ledger: identical for %d ticks, then lengths differ: a=%d b=%d ticks\n",
+			n, len(la), len(lb))
+		return 1, nil
+	}
+	fmt.Fprintf(w, "ledgers identical: %d ticks, chain %016x\n", len(la), tailChain(la))
+	return 0, nil
+}
+
+func tailChain(entries []obs.LedgerEntry) uint64 {
+	if len(entries) == 0 {
+		return 0
+	}
+	return entries[len(entries)-1].Chain
+}
+
+// explainTick prints side's recorded events inside divergent tick t's
+// window (previous seal, this seal], cause-bearing lines first. Event
+// files are optional; a missing path is silently skipped.
+func explainTick(w io.Writer, entries []obs.LedgerEntry, t int, path, side string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(w, "  (%s events unavailable: %v)\n", side, err)
+		return
+	}
+	defer f.Close()
+	var lo sim.Time
+	if t > 0 {
+		lo = entries[t-1].At
+	}
+	hi := entries[t].At
+	var caused, plain []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		at, ok := eventAt(line)
+		if !ok || at <= lo || at > hi {
+			continue
+		}
+		if strings.Contains(line, `"cause":{`) {
+			caused = append(caused, line)
+		} else {
+			plain = append(plain, line)
+		}
+	}
+	if len(caused) == 0 && len(plain) == 0 {
+		fmt.Fprintf(w, "  %s: no events in tick window (%d, %d]\n", side, lo, hi)
+		return
+	}
+	fmt.Fprintf(w, "  %s: events in tick window (%d, %d]:\n", side, lo, hi)
+	for _, line := range caused {
+		fmt.Fprintf(w, "    cause %s\n", line)
+	}
+	for _, line := range plain {
+		fmt.Fprintf(w, "          %s\n", line)
+	}
+}
+
+// eventAt extracts the "at" timestamp from an event JSONL line.
+func eventAt(line string) (sim.Time, bool) {
+	const prefix = `{"at":`
+	if !strings.HasPrefix(line, prefix) {
+		return 0, false
+	}
+	rest := line[len(prefix):]
+	end := strings.IndexByte(rest, ',')
+	if end < 0 {
+		return 0, false
+	}
+	var at int64
+	for _, c := range rest[:end] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		at = at*10 + int64(c-'0')
+	}
+	return sim.Time(at), true
+}
+
+// diffLines reports the first differing line of two line-oriented files
+// (event JSONL, timeseries CSV, report text). For event lines the report
+// extracts the timestamp and any cause record on both sides.
+func diffLines(w io.Writer, pathA, pathB string, a, b []byte) (int, error) {
+	la := strings.Split(strings.TrimSuffix(string(a), "\n"), "\n")
+	lb := strings.Split(strings.TrimSuffix(string(b), "\n"), "\n")
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if la[i] == lb[i] {
+			continue
+		}
+		fmt.Fprintf(w, "first divergence at line %d\n", i+1)
+		if at, ok := eventAt(la[i]); ok {
+			fmt.Fprintf(w, "  at=%d\n", at)
+		}
+		fmt.Fprintf(w, "  a: %s\n  b: %s\n", la[i], lb[i])
+		for _, side := range []struct{ name, line string }{{"a", la[i]}, {"b", lb[i]}} {
+			if idx := strings.Index(side.line, `"cause":{`); idx >= 0 {
+				cause := side.line[idx:]
+				if end := strings.IndexByte(cause, '}'); end >= 0 {
+					cause = cause[:end+1]
+				}
+				fmt.Fprintf(w, "  %s %s\n", side.name, cause)
+			}
+		}
+		return 1, nil
+	}
+	if len(la) != len(lb) {
+		fmt.Fprintf(w, "identical for %d lines, then lengths differ: a=%d b=%d lines\n",
+			n, len(la), len(lb))
+		return 1, nil
+	}
+	fmt.Fprintf(w, "files identical: %d lines\n", len(la))
+	return 0, nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"servicefridge/internal/engine"
+	"servicefridge/internal/obs"
+	"servicefridge/internal/sim"
+)
+
+// ledgerRun executes the standard quick scenario with a ledger attached.
+// When perturbAt > 0 the budget fraction is retargeted mid-run — the
+// injected single-tick divergence the localization tests assert on.
+func ledgerRun(t *testing.T, dir, name string, perturbAt time.Duration, fraction float64) (ledgerPath, eventsPath string) {
+	t.Helper()
+	rec := obs.NewRecorder(0)
+	led := obs.NewLedger()
+	res, err := engine.BuildE(engine.Config{
+		Seed: 7, Scheme: engine.ServiceFridge, BudgetFraction: 0.8,
+		PoolWorkers: map[string]int{"A": 6, "B": 6},
+		Warmup:      2 * time.Second, Duration: 4 * time.Second,
+		Events: rec, Ledger: led,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perturbAt > 0 {
+		res.Engine.RunUntil(sim.Time(perturbAt))
+		res.SetBudgetFraction(fraction)
+	}
+	res.Finish()
+
+	var lb, eb bytes.Buffer
+	if err := led.WriteJSONL(&lb); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteJSONL(&eb); err != nil {
+		t.Fatal(err)
+	}
+	ledgerPath = filepath.Join(dir, name+".ledger.jsonl")
+	eventsPath = filepath.Join(dir, name+".events.jsonl")
+	if err := os.WriteFile(ledgerPath, lb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(eventsPath, eb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return ledgerPath, eventsPath
+}
+
+// TestIdenticalLedgers: two runs at the same seed produce identical
+// ledgers, exit status 0.
+func TestIdenticalLedgers(t *testing.T) {
+	dir := t.TempDir()
+	la, _ := ledgerRun(t, dir, "a", 0, 0)
+	lb, _ := ledgerRun(t, dir, "b", 0, 0)
+	var out, errb strings.Builder
+	if status := run([]string{la, lb}, &out, &errb); status != 0 {
+		t.Fatalf("status %d, stderr %q, out %q", status, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "ledgers identical") {
+		t.Fatalf("unexpected report: %q", out.String())
+	}
+}
+
+// TestLocalizesInjectedPerturbation is the satellite golden test: a
+// budget retarget injected at t=2.5s (between the 1s-spaced control
+// ticks) must be localized to exactly the first sealed tick after it —
+// index 2, sealed at t=3s — with the state component named as divergent
+// and the causal explanation drawn from the event streams.
+func TestLocalizesInjectedPerturbation(t *testing.T) {
+	dir := t.TempDir()
+	base, baseEv := ledgerRun(t, dir, "base", 0, 0)
+	pert, pertEv := ledgerRun(t, dir, "pert", 2500*time.Millisecond, 0.75)
+
+	report := filepath.Join(dir, "report.txt")
+	var out, errb strings.Builder
+	status := run([]string{"-report", report, "-events", baseEv + "," + pertEv, base, pert}, &out, &errb)
+	if status != 1 {
+		t.Fatalf("status %d, stderr %q, out %q", status, errb.String(), out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "first divergence at tick 2 (at=3000000000)") {
+		t.Fatalf("divergence not localized to tick 2 at t=3s:\n%s", got)
+	}
+	if !strings.Contains(got, "state:") || !strings.Contains(got, "DIFFER") {
+		t.Fatalf("state component not reported divergent:\n%s", got)
+	}
+	if !strings.Contains(got, `"cause":{"signal":`) {
+		t.Fatalf("no causal explanation in report:\n%s", got)
+	}
+	saved, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(saved) != got {
+		t.Fatal("-report file does not match stdout")
+	}
+}
+
+// TestEventStreamDiff: plain event JSONL files fall back to first-line
+// localization with the cause extracted on both sides.
+func TestEventStreamDiff(t *testing.T) {
+	dir := t.TempDir()
+	_, a := ledgerRun(t, dir, "a", 0, 0)
+	_, b := ledgerRun(t, dir, "b", 2500*time.Millisecond, 0.75)
+	var out, errb strings.Builder
+	status := run([]string{a, b}, &out, &errb)
+	if status != 1 {
+		t.Fatalf("status %d, stderr %q", status, errb.String())
+	}
+	if !strings.Contains(out.String(), "first divergence at line ") {
+		t.Fatalf("unexpected report: %q", out.String())
+	}
+	// Identical event files report clean.
+	out.Reset()
+	if status := run([]string{a, a}, &out, &errb); status != 0 {
+		t.Fatalf("self-diff status %d", status)
+	}
+	if !strings.Contains(out.String(), "files identical") {
+		t.Fatalf("unexpected self-diff report: %q", out.String())
+	}
+}
+
+// TestUsageErrors: bad invocations exit 2 without writing a report.
+func TestUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if status := run([]string{"only-one-file"}, &out, &errb); status != 2 {
+		t.Fatalf("single arg: status %d", status)
+	}
+	if status := run([]string{"/nonexistent/a", "/nonexistent/b"}, &out, &errb); status != 2 {
+		t.Fatalf("missing files: status %d", status)
+	}
+	if status := run([]string{"-events", "only-one", "a", "b"}, &out, &errb); status != 2 {
+		t.Fatalf("malformed -events: status %d", status)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"servicefridge/internal/app"
+	"servicefridge/internal/obs"
 	"servicefridge/internal/telemetry"
 	"servicefridge/internal/workload"
 )
@@ -22,6 +23,7 @@ import (
 type ExportFlags struct {
 	Events      string
 	Traces      string
+	Ledger      string
 	TraceSample float64
 }
 
@@ -33,6 +35,8 @@ func (e *ExportFlags) Bind(fs *flag.FlagSet, defaultSample float64) {
 		"write the run's controller event stream as JSONL to this file")
 	fs.StringVar(&e.Traces, "traces", "",
 		"write the run's request traces as Zipkin v2 JSON to this file")
+	fs.StringVar(&e.Ledger, "ledger", "",
+		"write the run's hash-chained ledger as JSONL to this file (diff with cmd/simdiff)")
 	fs.Float64Var(&e.TraceSample, "trace-sample", defaultSample,
 		"fraction of requests exported by -traces (deterministic stride, not RNG)")
 }
@@ -244,6 +248,36 @@ func ParseSweep(s string) ([]float64, error) {
 		return nil, fmt.Errorf("-sweep %q has no fractions", s)
 	}
 	return fracs, nil
+}
+
+// CheckWritable verifies — before any simulation work — that every
+// non-empty export path can be created, so a typo'd directory or a
+// read-only target fails the command in milliseconds instead of after
+// minutes of simulation. Each path is created empty here and truncated
+// again by the real export.
+func CheckWritable(paths ...string) error {
+	for _, p := range paths {
+		if p == "" {
+			continue
+		}
+		f, err := os.Create(p)
+		if err != nil {
+			return fmt.Errorf("export path not writable: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("export path not writable: %w", err)
+		}
+	}
+	return nil
+}
+
+// WarnDropped prints a single stderr-style warning when the run's event
+// ring overwrote records: the exported JSONL is then missing the oldest
+// events (the run ledger, which hashes at emit time, still covers them).
+func WarnDropped(w io.Writer, rec *obs.Recorder) {
+	if n := rec.Dropped(); n > 0 {
+		fmt.Fprintf(w, "warning: event ring overwrote %d events; the oldest are missing from exports\n", n)
+	}
 }
 
 // ExportFile creates path, hands it to write, and closes it, reporting

@@ -3,9 +3,14 @@ package cliutil
 import (
 	"flag"
 	"io"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
+
+	"servicefridge/internal/obs"
 )
 
 func TestParseMix(t *testing.T) {
@@ -141,4 +146,37 @@ func TestTelemetryFlags(t *testing.T) {
 	if err := fs2.Parse([]string{"-listen", ":0"}); err == nil {
 		t.Fatal("-listen accepted by the non-serving flag set")
 	}
+}
+
+func TestCheckWritable(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "out.jsonl")
+	if err := CheckWritable(good, "", filepath.Join(dir, "two.csv")); err != nil {
+		t.Fatalf("writable paths rejected: %v", err)
+	}
+	if _, err := os.Stat(good); err != nil {
+		t.Fatalf("probe did not create the file: %v", err)
+	}
+	if err := CheckWritable(filepath.Join(dir, "no", "such", "dir", "out.jsonl")); err == nil {
+		t.Fatal("missing parent directory accepted")
+	}
+	if err := CheckWritable(dir); err == nil {
+		t.Fatal("directory path accepted as an export file")
+	}
+}
+
+func TestWarnDropped(t *testing.T) {
+	var b strings.Builder
+	rec := obs.NewRecorder(1)
+	WarnDropped(&b, rec)
+	if b.Len() != 0 {
+		t.Fatalf("warned with nothing dropped: %q", b.String())
+	}
+	rec.Emit(1, obs.Crash{Service: "a", Node: "n"})
+	rec.Emit(2, obs.Crash{Service: "b", Node: "n"})
+	WarnDropped(&b, rec)
+	if !strings.Contains(b.String(), "overwrote 1 events") {
+		t.Fatalf("missing drop warning: %q", b.String())
+	}
+	WarnDropped(io.Discard, nil) // nil recorder is inert
 }

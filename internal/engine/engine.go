@@ -136,6 +136,13 @@ type Config struct {
 	// Like Events it is passive — no RNG draws, no simulation mutation —
 	// so an instrumented run is byte-identical to an uninstrumented one.
 	Telemetry *telemetry.Telemetry
+	// Ledger, when non-nil, seals one hash-chained LedgerEntry per control
+	// interval: the tick's event stream, the engine's state digest and the
+	// RNG cursor digest. An Events recorder is attached automatically if
+	// none is configured (the ledger hashes events at emit time). Passive
+	// like Events/Telemetry: identical runs seal byte-identical ledgers,
+	// and attaching a ledger changes no other output.
+	Ledger *obs.Ledger
 }
 
 func (c *Config) fill() {
@@ -398,6 +405,15 @@ func BuildE(cfg Config) (*Result, error) {
 	budgetVal := power.NewBudget(model, cl.Size(), cfg.BudgetFraction)
 	budget := &budgetVal
 	budget.Base = cfg.MaxRequired
+	if cfg.Ledger != nil {
+		// The ledger needs the event stream; attach a recorder if the
+		// caller didn't. Events are hashed at emit time, so ring capacity
+		// does not affect the ledger.
+		if cfg.Events == nil {
+			cfg.Events = obs.NewRecorder(0)
+		}
+		cfg.Events.SetLedger(cfg.Ledger)
+	}
 	if cfg.Events != nil {
 		orch.Rec = cfg.Events
 		meter.Rec = cfg.Events
@@ -480,6 +496,9 @@ func BuildE(cfg Config) (*Result, error) {
 				return float64(cs.Total), float64(budget.Cap()), cs.Util, ok
 			},
 			Migrations: orch.Migrations,
+			// Dropped is nil-safe, so this binds cleanly even when no
+			// events recorder is attached (it then always reports 0).
+			EventsDropped: cfg.Events.Dropped,
 		}
 		if res.Fridge != nil {
 			b.Controller = res.Fridge
@@ -528,6 +547,15 @@ func BuildE(cfg Config) (*Result, error) {
 		// Armed after the per-region t=0 wiring above, so a profile
 		// setpoint at t=0 overrides the (zero) static rates.
 		res.Driver.Start()
+	}
+	if cfg.Ledger != nil {
+		// Registered last of all periodic work so a seal at a shared
+		// instant observes post-tick, post-sample state: same-instant
+		// calendar order is registration order.
+		led := cfg.Ledger
+		eng.Every(cfg.ControlInterval, func() {
+			led.Seal(eng.Now(), res.stateDigest(), eng.RNG().CursorDigest())
+		})
 	}
 	return res, nil
 }

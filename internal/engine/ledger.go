@@ -1,0 +1,82 @@
+package engine
+
+import "math"
+
+// The engine side of the run ledger: what state is digested at each
+// control tick, and how the ledger hooks into BuildE.
+//
+// The digest covers simulation-visible state only — per-server DVFS and
+// queue occupancy, the meter's cluster reading, orchestrator and executor
+// lifecycle counters. It deliberately excludes anything that varies with
+// instrumentation (telemetry history, recorder ring occupancy, calendar
+// sequence numbers): the instrumentation contract says an instrumented
+// run is byte-identical to an uninstrumented one, so a CLI run without
+// telemetry and a control-plane session with telemetry bound must seal
+// identical ledgers at the same seed.
+
+// fnvOffset/fnvPrime mirror the obs ledger's FNV-1a constants.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// digest accumulates an FNV-1a 64 hash over words and bytes.
+type digest uint64
+
+func (d *digest) word(v uint64) {
+	h := uint64(*d)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	*d = digest(h)
+}
+
+func (d *digest) str(s string) {
+	h := uint64(*d)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	*d = digest(h)
+	d.word(uint64(len(s)))
+}
+
+func (d *digest) float(f float64) {
+	// Raw bit pattern: exact, no formatting ambiguity, distinguishes -0.
+	d.word(math.Float64bits(f))
+}
+
+// stateDigest fingerprints the run's simulation-visible state for a
+// ledger seal. Allocation-free: it walks fixed structures and folds
+// words. Every input is either per-server state the scheme actuates
+// (frequency, queue and in-flight occupancy, completion counters) or a
+// monotonic lifecycle counter — enough that any divergent control action
+// or request flow changes the digest by the tick after it happens, while
+// attaching or detaching instrumentation does not.
+func (r *Result) stateDigest() uint64 {
+	d := digest(fnvOffset)
+	for _, s := range r.Cluster.Servers() {
+		d.str(s.Name())
+		d.float(float64(s.Freq()))
+		d.word(uint64(s.QueueLen()))
+		d.word(uint64(s.InFlight()))
+		d.word(s.Completed())
+		d.word(s.FreqChanges())
+	}
+	if cs, ok := r.Meter.LastCluster(); ok {
+		d.word(uint64(cs.At))
+		d.float(float64(cs.Total))
+		d.float(float64(cs.Dynamic))
+		d.float(cs.Util)
+	}
+	d.float(float64(r.Budget.Cap()))
+	d.word(r.Orch.Migrations())
+	d.word(r.Orch.Started())
+	d.word(r.Orch.Stopped())
+	d.word(r.Orch.Crashes())
+	d.word(r.Executor.Launched())
+	d.word(r.Executor.Completed())
+	return uint64(d)
+}

@@ -39,6 +39,7 @@ type RunState struct {
 	fridge  *fridge.State        // nil unless the scheme is ServiceFridge
 	tel     *telemetry.State     // nil unless Config.Telemetry is bound
 	events  *obs.RecorderState   // nil unless Config.Events records
+	ledger  *obs.LedgerState     // nil unless Config.Ledger seals
 	budget  power.Budget
 	freq    map[string][]FreqPoint
 }
@@ -62,6 +63,7 @@ func (r *Result) Snapshot() *RunState {
 		pools:   make(map[string]workload.ClosedLoopState, len(r.Pools)),
 		open:    make(map[string]workload.OpenLoopState, len(r.OpenLoops)),
 		events:  r.Config.Events.Snapshot(),
+		ledger:  r.Config.Ledger.Snapshot(),
 		budget:  *r.Budget,
 		freq:    make(map[string][]FreqPoint, len(r.FreqSeries)),
 	}
@@ -115,6 +117,7 @@ func (r *Result) Restore(s *RunState) {
 		r.Config.Telemetry.Restore(s.tel)
 	}
 	r.Config.Events.Restore(s.events)
+	r.Config.Ledger.Restore(s.ledger)
 	*r.Budget = s.budget
 	r.Config.BudgetFraction = s.budget.Fraction
 	clear(r.FreqSeries)

@@ -54,6 +54,11 @@ func fingerprint(t *testing.T, res *Result) string {
 			t.Fatalf("telemetry csv: %v", err)
 		}
 	}
+	if res.Config.Ledger != nil {
+		if err := res.Config.Ledger.WriteJSONL(&b); err != nil {
+			t.Fatalf("ledger jsonl: %v", err)
+		}
+	}
 	return b.String()
 }
 
@@ -73,6 +78,7 @@ func instrumentedConfig(scheme string) Config {
 		TrackFreqOf:    []string{"seat"},
 		Events:         obs.NewRecorder(4096),
 		Telemetry:      telemetry.New(telemetry.Options{}),
+		Ledger:         obs.NewLedger(),
 	}
 }
 

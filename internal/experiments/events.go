@@ -25,14 +25,15 @@ import (
 // 80% budget under a low→high→medium load swing, with one injected
 // container crash mid-run so the failure path appears in the stream.
 func eventRun(seed uint64) (*engine.Result, *obs.Recorder) {
-	return canonicalRun(seed, nil)
+	return canonicalRun(seed, nil, nil)
 }
 
 // canonicalRun is the shared body of the instrumented-run exports: the
-// controller event stream (-events) and the telemetry time series
-// (-timeseries) come from the same scenario, so the two artifacts line up
-// instant for instant. tel may be nil.
-func canonicalRun(seed uint64, tel *telemetry.Telemetry) (*engine.Result, *obs.Recorder) {
+// controller event stream (-events), the telemetry time series
+// (-timeseries) and the run ledger (-ledger) come from the same scenario,
+// so the artifacts line up instant for instant. tel and led may be nil;
+// both layers are passive, so every combination exports identical bytes.
+func canonicalRun(seed uint64, tel *telemetry.Telemetry, led *obs.Ledger) (*engine.Result, *obs.Recorder) {
 	rec := obs.NewRecorder(0)
 	res := engine.Build(engine.Config{
 		Seed:           seed,
@@ -49,6 +50,7 @@ func canonicalRun(seed uint64, tel *telemetry.Telemetry) (*engine.Result, *obs.R
 		Duration:  55 * time.Second,
 		Events:    rec,
 		Telemetry: tel,
+		Ledger:    led,
 	})
 	res.Orch.SetFailurePolicy(orchestrator.FailurePolicy{
 		AutoRestart:  true,
@@ -151,6 +153,16 @@ func ExportEventsJSONL(seed uint64, w io.Writer) error {
 // diffs it across -parallel widths.
 func ExportTimeseriesCSV(seed uint64, w io.Writer) error {
 	tel := telemetry.New(telemetry.Options{})
-	canonicalRun(seed, tel)
+	canonicalRun(seed, tel, nil)
 	return tel.WriteCSV(w)
+}
+
+// ExportLedgerJSONL runs the canonical instrumented scenario with a run
+// ledger attached and writes the sealed chain as JSONL. A pure function
+// of the seed: the CI determinism job feeds two of these (different
+// -parallel widths) to cmd/simdiff, which must report them identical.
+func ExportLedgerJSONL(seed uint64, w io.Writer) error {
+	led := obs.NewLedger()
+	canonicalRun(seed, nil, led)
+	return led.WriteJSONL(w)
 }

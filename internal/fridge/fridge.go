@@ -106,6 +106,12 @@ type Fridge struct {
 	lastMCF map[string]float64
 	hasMCF  bool
 
+	// zoneDemand and demandTotal are this tick's per-zone aggregate MCF and
+	// its sum, saved by assignZones so the ZoneReassign/Migration events can
+	// carry the sizing inputs as provenance.
+	zoneDemand  map[Zone]float64
+	demandTotal float64
+
 	ticks      uint64
 	promotions uint64
 	demotions  uint64
@@ -340,7 +346,10 @@ func (f *Fridge) recordZones() {
 		for _, s := range f.zoneServers[z] {
 			names = append(names, s.Name())
 		}
-		f.ctx.Rec.Emit(at, obs.ZoneReassign{Zone: z.String(), Servers: names})
+		f.ctx.Rec.Emit(at, obs.ZoneReassign{
+			Zone: z.String(), Servers: names,
+			Cause: obs.Cause{Signal: "mcf-demand", Value: f.zoneDemand[z], Bound: f.demandTotal},
+		})
 	}
 }
 
@@ -419,14 +428,24 @@ func (f *Fridge) assignZones() {
 	}
 	n := len(workers)
 	mcf := f.lastMCF
+	// Accumulate in sorted service order: float sums depend on addend
+	// order, and these values are emitted as provenance, so map iteration
+	// order must not leak into them.
+	services := make([]string, 0, len(f.levels))
+	for s := range f.levels {
+		services = append(services, s)
+	}
+	sort.Strings(services)
 	demand := map[Zone]float64{}
-	for s, lvl := range f.levels {
-		demand[zoneOf(lvl)] += mcf[s]
+	for _, s := range services {
+		demand[zoneOf(f.levels[s])] += mcf[s]
 	}
 	var total float64
-	for _, d := range demand {
-		total += d
+	for _, z := range []Zone{Cold, Warm, Hot} {
+		total += demand[z]
 	}
+	f.zoneDemand = demand
+	f.demandTotal = total
 
 	counts := map[Zone]int{}
 	if total == 0 || n == 0 {
@@ -634,19 +653,24 @@ func (f *Fridge) recordMigration(svc string, z Zone, targets []*cluster.Server) 
 		if i < len(added) {
 			to = added[i]
 		}
-		f.ctx.Rec.Emit(at, obs.Migration{Service: svc, From: from, To: to, Zone: z.String()})
+		f.ctx.Rec.Emit(at, obs.Migration{
+			Service: svc, From: from, To: to, Zone: z.String(),
+			Cause: obs.Cause{Signal: "mcf-rank", Value: f.lastMCF[svc], Bound: f.demandTotal},
+		})
 	}
 }
 
 // demoteForPower demotes the lowest-MCF high-criticality service one
 // level, releasing cold-zone capacity when the budget cannot be met by
-// throttling the hot and warm zones alone.
-func (f *Fridge) demoteForPower() {
+// throttling the hot and warm zones alone. predicted and capW are the
+// irreducible draw and the budget it overshoots, recorded as provenance.
+func (f *Fridge) demoteForPower(predicted, capW power.Watts) {
 	high := f.servicesAt(core.High)
 	if len(high) == 0 {
 		return
 	}
-	f.bump(high[len(high)-1], -1, "power-shortage")
+	cause := obs.Cause{Signal: "power-gap", Value: float64(predicted), Bound: float64(capW)}
+	f.bump(high[len(high)-1], -1, "power-shortage", cause)
 	f.demotions++
 }
 
@@ -684,18 +708,20 @@ func (f *Fridge) autoScale() {
 	case mean > f.Alpha && headroom:
 		// Promote the criticality of services on the max-utilization node
 		// (§5.3: promotion only when power is abundant).
+		cause := obs.Cause{Signal: "warm-util", Value: mean, Bound: f.Alpha}
 		victim := maxUtilServer(warm, utils)
 		for _, svc := range f.ctx.Orch.ServicesOn(victim) {
 			if f.isFunction(svc) && f.levels[svc] != core.High {
-				f.bump(svc, +1, "warm-util-high")
+				f.bump(svc, +1, "warm-util-high", cause)
 				f.promotions++
 			}
 		}
 	case mean < f.Beta:
+		cause := obs.Cause{Signal: "warm-util", Value: mean, Bound: f.Beta}
 		victim := minUtilServer(warm, utils)
 		for _, svc := range f.ctx.Orch.ServicesOn(victim) {
 			if f.isFunction(svc) && f.levels[svc] != core.Low {
-				f.bump(svc, -1, "warm-util-low")
+				f.bump(svc, -1, "warm-util-low", cause)
 				f.demotions++
 			}
 		}
@@ -707,7 +733,7 @@ func (f *Fridge) isFunction(svc string) bool {
 	return ms != nil && ms.Kind == app.KindFunction
 }
 
-func (f *Fridge) bump(svc string, delta int, reason string) {
+func (f *Fridge) bump(svc string, delta int, reason string, cause obs.Cause) {
 	if _, ok := f.levels[svc]; !ok {
 		return
 	}
@@ -736,9 +762,9 @@ func (f *Fridge) bump(svc string, delta int, reason string) {
 		}
 		level := core.Criticality(lvl).String()
 		if delta > 0 {
-			f.ctx.Rec.Emit(f.now(), obs.Promote{Service: svc, Level: level, Reason: reason})
+			f.ctx.Rec.Emit(f.now(), obs.Promote{Service: svc, Level: level, Reason: reason, Cause: cause})
 		} else {
-			f.ctx.Rec.Emit(f.now(), obs.Demote{Service: svc, Level: level, Reason: reason})
+			f.ctx.Rec.Emit(f.now(), obs.Demote{Service: svc, Level: level, Reason: reason, Cause: cause})
 		}
 	}
 }
@@ -788,32 +814,39 @@ func (f *Fridge) setZoneFrequencies() {
 	f.zoneFreq[Cold] = cluster.FreqMax
 	f.zoneFreq[Warm] = warmF
 	f.zoneFreq[Hot] = hotF
+	// The fit the descent stopped at: every FreqChange this tick carries
+	// it as provenance (predicted draw at the chosen frequencies vs cap).
+	fit := obs.Cause{
+		Signal: "budget-fit",
+		Value:  float64(f.predictTotal(loads, warmF, hotF)),
+		Bound:  float64(capW),
+	}
 	// Power shortage even with hot and warm fully throttled: the cold
 	// zone is too large for the budget. Demote the least critical
 	// high-criticality service so the next tick shrinks the cold zone
 	// (§5.3: the controller demotes based on available power resources).
 	if !predict() && warmF == cluster.FreqMin && hotF == cluster.FreqMin {
-		f.demoteForPower()
+		f.demoteForPower(power.Watts(fit.Value), capW)
 	}
 	for _, s := range f.zoneServers[Cold] {
-		f.setFreqRecorded(s, Cold, cluster.FreqMax)
+		f.setFreqRecorded(s, Cold, cluster.FreqMax, fit)
 	}
 	for _, s := range f.zoneServers[Warm] {
-		f.setFreqRecorded(s, Warm, f.guardCritical(s, warmF))
+		f.setFreqRecorded(s, Warm, f.guardCritical(s, warmF), fit)
 	}
 	for _, s := range f.zoneServers[Hot] {
-		f.setFreqRecorded(s, Hot, f.guardCritical(s, hotF))
+		f.setFreqRecorded(s, Hot, f.guardCritical(s, hotF), fit)
 	}
 }
 
 // setFreqRecorded actuates one server's frequency, emitting a FreqChange
 // event when the setting actually moves.
-func (f *Fridge) setFreqRecorded(s *cluster.Server, z Zone, want cluster.GHz) {
+func (f *Fridge) setFreqRecorded(s *cluster.Server, z Zone, want cluster.GHz, cause obs.Cause) {
 	prev := s.Freq()
 	s.SetFreq(want)
 	if f.ctx.Rec != nil && s.Freq() != prev {
 		f.ctx.Rec.Emit(f.now(), obs.FreqChange{
-			Server: s.Name(), Zone: z.String(), GHz: float64(s.Freq()),
+			Server: s.Name(), Zone: z.String(), GHz: float64(s.Freq()), Cause: cause,
 		})
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"servicefridge/internal/app"
 	"servicefridge/internal/cluster"
 	"servicefridge/internal/core"
+	"servicefridge/internal/obs"
 	"servicefridge/internal/orchestrator"
 	"servicefridge/internal/power"
 	"servicefridge/internal/schemes"
@@ -247,7 +248,7 @@ func TestPromotionAdjustmentExpiresWhenBaseChanges(t *testing.T) {
 	eng.RunFor(time.Second)
 	f.Tick()
 	// Manually promote a low service.
-	f.bump("route", +1, "test")
+	f.bump("route", +1, "test", obs.Cause{})
 	feed(f, 30, 0)
 	f.Tick()
 	if f.Levels()["route"] != core.Uncertain {

@@ -21,6 +21,8 @@ type State struct {
 	levels          map[string]core.Criticality
 	lastMCF         map[string]float64
 	hasMCF          bool
+	zoneDemand      map[Zone]float64
+	demandTotal     float64
 	ticks           uint64
 	promotions      uint64
 	demotions       uint64
@@ -42,6 +44,8 @@ func (f *Fridge) Snapshot() *State {
 		levels:          make(map[string]core.Criticality, len(f.levels)),
 		lastMCF:         make(map[string]float64, len(f.lastMCF)),
 		hasMCF:          f.hasMCF,
+		zoneDemand:      make(map[Zone]float64, len(f.zoneDemand)),
+		demandTotal:     f.demandTotal,
 		ticks:           f.ticks,
 		promotions:      f.promotions,
 		demotions:       f.demotions,
@@ -67,6 +71,9 @@ func (f *Fridge) Snapshot() *State {
 	}
 	for k, v := range f.lastMCF {
 		s.lastMCF[k] = v
+	}
+	for z, d := range f.zoneDemand {
+		s.zoneDemand[z] = d
 	}
 	return s
 }
@@ -109,6 +116,11 @@ func (f *Fridge) Restore(s *State) {
 		f.lastMCF[k] = v
 	}
 	f.hasMCF = s.hasMCF
+	f.zoneDemand = make(map[Zone]float64, len(s.zoneDemand))
+	for z, d := range s.zoneDemand {
+		f.zoneDemand[z] = d
+	}
+	f.demandTotal = s.demandTotal
 	f.ticks = s.ticks
 	f.promotions = s.promotions
 	f.demotions = s.demotions

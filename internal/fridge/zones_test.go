@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"servicefridge/internal/core"
+	"servicefridge/internal/obs"
 )
 
 // TestAllocateZoneCounts pins the proportional zone-sizing arithmetic of
@@ -97,7 +98,7 @@ func TestRepeatedPromotionPastClampSticks(t *testing.T) {
 	}
 	// One promotion per control interval, continuing past the clamp.
 	for i := 0; i < 3; i++ {
-		f.bump("route", +1, "test")
+		f.bump("route", +1, "test", obs.Cause{})
 		feed(f, 30, 0)
 		f.Tick()
 	}

@@ -15,6 +15,41 @@ import (
 	"servicefridge/internal/sim"
 )
 
+// Cause is the decision-provenance record attached to control action
+// events: the triggering signal, its value at decision time, and the
+// bound it was compared against. The zero value means "no provenance
+// captured" and encodes to nothing, so cause-less streams keep their
+// exact historical bytes. Causes are captured on the controller's
+// allocation-free paths — a Cause is three words of value state, no
+// pointers, no heap.
+type Cause struct {
+	// Signal names the triggering input: "mcf-demand" (zone sizing),
+	// "mcf-rank" (migration ordering), "warm-util" (Algorithm 1),
+	// "power-gap" (shortage demotion), "budget-fit" (DVFS fitting),
+	// "replica-target" (horizontal scaling).
+	Signal string
+	// Value is the signal's reading at decision time.
+	Value float64
+	// Bound is the threshold or reference the value was compared against.
+	Bound float64
+}
+
+// appendCause appends `,"cause":{...}` when a cause was captured; a zero
+// Cause appends nothing, keeping cause-less encodings byte-identical to
+// the pre-provenance format.
+func appendCause(b []byte, c Cause) []byte {
+	if c.Signal == "" {
+		return b
+	}
+	b = append(b, `,"cause":{"signal":`...)
+	b = strconv.AppendQuote(b, c.Signal)
+	b = append(b, `,"value":`...)
+	b = strconv.AppendFloat(b, c.Value, 'g', -1, 64)
+	b = append(b, `,"bound":`...)
+	b = strconv.AppendFloat(b, c.Bound, 'g', -1, 64)
+	return append(b, '}')
+}
+
 // Event is one typed controller decision or observation. Implementations
 // append their payload as JSON members in a fixed field order, which keeps
 // the JSONL export stable and diffable.
@@ -32,6 +67,9 @@ type Event interface {
 type ZoneReassign struct {
 	Zone    string
 	Servers []string
+	// Cause carries the zone's aggregate MCF demand against the total —
+	// the proportional-split input that sized this zone.
+	Cause Cause
 }
 
 // Kind implements Event.
@@ -46,7 +84,8 @@ func (e ZoneReassign) appendFields(b []byte) []byte {
 		}
 		b = strconv.AppendQuote(b, s)
 	}
-	return append(b, ']')
+	b = append(b, ']')
+	return appendCause(b, e.Cause)
 }
 
 // Migration records one container move of the start-new-then-kill-old
@@ -58,6 +97,9 @@ type Migration struct {
 	From    string
 	To      string
 	Zone    string
+	// Cause carries the service's MCF rank against the cluster-wide
+	// total — why this zone claimed it.
+	Cause Cause
 }
 
 // Kind implements Event.
@@ -67,7 +109,8 @@ func (e Migration) appendFields(b []byte) []byte {
 	b = appendStr(b, "svc", e.Service)
 	b = appendStr(b, "from", e.From)
 	b = appendStr(b, "to", e.To)
-	return appendStr(b, "zone", e.Zone)
+	b = appendStr(b, "zone", e.Zone)
+	return appendCause(b, e.Cause)
 }
 
 // Promote records an Algorithm 1 criticality promotion. Level is the
@@ -76,6 +119,9 @@ type Promote struct {
 	Service string
 	Level   string
 	Reason  string
+	// Cause carries the warm-zone utilization against Alpha — the
+	// Algorithm 1 comparison that triggered the promotion.
+	Cause Cause
 }
 
 // Kind implements Event.
@@ -84,7 +130,8 @@ func (Promote) Kind() string { return "promote" }
 func (e Promote) appendFields(b []byte) []byte {
 	b = appendStr(b, "svc", e.Service)
 	b = appendStr(b, "level", e.Level)
-	return appendStr(b, "reason", e.Reason)
+	b = appendStr(b, "reason", e.Reason)
+	return appendCause(b, e.Cause)
 }
 
 // Demote records an Algorithm 1 or power-shortage criticality demotion.
@@ -92,6 +139,9 @@ type Demote struct {
 	Service string
 	Level   string
 	Reason  string
+	// Cause carries the utilization-vs-Beta comparison (warm-util-low)
+	// or the predicted draw against the cap (power-shortage).
+	Cause Cause
 }
 
 // Kind implements Event.
@@ -100,7 +150,8 @@ func (Demote) Kind() string { return "demote" }
 func (e Demote) appendFields(b []byte) []byte {
 	b = appendStr(b, "svc", e.Service)
 	b = appendStr(b, "level", e.Level)
-	return appendStr(b, "reason", e.Reason)
+	b = appendStr(b, "reason", e.Reason)
+	return appendCause(b, e.Cause)
 }
 
 // FreqChange records one server's DVFS actuation to a new frequency, with
@@ -109,6 +160,10 @@ type FreqChange struct {
 	Server string
 	Zone   string
 	GHz    float64
+	// Cause carries the predicted cluster draw at the chosen zone
+	// frequencies against the budget cap — the fit the DVFS ladder
+	// descent stopped at.
+	Cause Cause
 }
 
 // Kind implements Event.
@@ -117,7 +172,8 @@ func (FreqChange) Kind() string { return "freq_change" }
 func (e FreqChange) appendFields(b []byte) []byte {
 	b = appendStr(b, "server", e.Server)
 	b = appendStr(b, "zone", e.Zone)
-	return appendFloat(b, "ghz", e.GHz)
+	b = appendFloat(b, "ghz", e.GHz)
+	return appendCause(b, e.Cause)
 }
 
 // PowerSample is one power-meter window: the draw of Zone ("cluster" for
@@ -170,6 +226,9 @@ type Scale struct {
 	Service string
 	From    int
 	To      int
+	// Cause carries the requested replica target against the live count
+	// at decision time.
+	Cause Cause
 }
 
 // Kind implements Event.
@@ -178,7 +237,8 @@ func (Scale) Kind() string { return "scale" }
 func (e Scale) appendFields(b []byte) []byte {
 	b = appendStr(b, "svc", e.Service)
 	b = appendInt(b, "from", int64(e.From))
-	return appendInt(b, "to", int64(e.To))
+	b = appendInt(b, "to", int64(e.To))
+	return appendCause(b, e.Cause)
 }
 
 // QoSViolation records the SLO monitor tripping: the watched quantile of
@@ -235,6 +295,28 @@ func (BudgetHeadroomLow) Kind() string { return "budget_headroom_low" }
 func (e BudgetHeadroomLow) appendFields(b []byte) []byte {
 	b = appendFloat(b, "headroom_w", e.HeadroomW)
 	return appendFloat(b, "cap_w", e.CapW)
+}
+
+// CauseOf returns the provenance record attached to a control action
+// event, and whether one was captured. Observation-only events (power
+// samples, crashes, QoS alerts) carry no cause and always report false.
+func CauseOf(ev Event) (Cause, bool) {
+	var c Cause
+	switch e := ev.(type) {
+	case ZoneReassign:
+		c = e.Cause
+	case Migration:
+		c = e.Cause
+	case Promote:
+		c = e.Cause
+	case Demote:
+		c = e.Cause
+	case FreqChange:
+		c = e.Cause
+	case Scale:
+		c = e.Cause
+	}
+	return c, c.Signal != ""
 }
 
 func appendStr(b []byte, key, val string) []byte {

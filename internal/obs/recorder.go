@@ -22,6 +22,7 @@ type Recorder struct {
 	n       int // live records in buf
 	seq     uint64
 	dropped uint64
+	ledger  *Ledger // optional emit tee; hashes before ring wraparound
 }
 
 // NewRecorder returns a recorder holding at most capacity events;
@@ -41,6 +42,9 @@ func (r *Recorder) Emit(at sim.Time, ev Event) {
 	}
 	rec := Record{At: at, Seq: r.seq, Ev: ev}
 	r.seq++
+	if r.ledger != nil {
+		r.ledger.fold(rec)
+	}
 	if r.n < cap(r.buf) {
 		r.buf = append(r.buf, rec)
 		r.n++
@@ -58,6 +62,16 @@ func (r *Recorder) Len() int {
 		return 0
 	}
 	return r.n
+}
+
+// SetLedger attaches (or detaches, with nil) a run ledger: every record
+// is hashed into the ledger's pending tick at emit time, so the ledger
+// covers the full stream even after ring wraparound discards old records.
+func (r *Recorder) SetLedger(l *Ledger) {
+	if r == nil {
+		return
+	}
+	r.ledger = l
 }
 
 // Dropped returns how many events were overwritten by ring wraparound.

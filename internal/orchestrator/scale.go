@@ -29,7 +29,10 @@ func (o *Orchestrator) Scale(service string, n int, nodes []*cluster.Server) {
 		}
 	}
 	if len(live) != n {
-		o.Rec.Emit(o.eng.Now(), obs.Scale{Service: service, From: len(live), To: n})
+		o.Rec.Emit(o.eng.Now(), obs.Scale{
+			Service: service, From: len(live), To: n,
+			Cause: obs.Cause{Signal: "replica-target", Value: float64(n), Bound: float64(len(live))},
+		})
 	}
 	switch {
 	case len(live) < n:

@@ -15,6 +15,8 @@
 //	GET    /sessions/{id}/status  lifecycle state + sim progress
 //	GET    /sessions/{id}/stream  chunked JSONL of telemetry snapshots
 //	GET    /sessions/{id}/result  final result document (409 until done)
+//	GET    /sessions/{id}/ledger  hash-chained run ledger as JSONL
+//	GET    /sessions/{id}/explain?t=N  expand sealed tick N: ledger entry + causes
 //	POST   /sessions/{id}/whatif  fork, perturb, report the delta
 //	POST   /sessions/{id}/cancel  stop advancing (engine stays warm)
 //	DELETE /sessions/{id}         cancel, forget, free the engine
@@ -95,6 +97,8 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /sessions/{id}/status", s.handleStatus)
 	mux.HandleFunc("GET /sessions/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /sessions/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /sessions/{id}/ledger", s.handleLedger)
+	mux.HandleFunc("GET /sessions/{id}/explain", s.handleExplain)
 	mux.HandleFunc("POST /sessions/{id}/whatif", s.handleWhatif)
 	mux.HandleFunc("POST /sessions/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
@@ -304,7 +308,14 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	cmd := &whatifCmd{req: req, reply: make(chan whatifReply, 1)}
+	cmd := &whatifCmd{req: req, reply: make(chan cmdReply, 1)}
+	dispatch(w, r, sess, cmd, cmd.reply, "")
+}
+
+// dispatch queues cmd on the session goroutine and writes its reply.
+// okContentType, when non-empty, overrides the Content-Type of a
+// successful reply (error replies are always JSON).
+func dispatch(w http.ResponseWriter, r *http.Request, sess *session, cmd sessionCmd, reply chan cmdReply, okContentType string) {
 	select {
 	case sess.cmds <- cmd:
 	case <-sess.gone:
@@ -314,11 +325,50 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	select {
-	case rep := <-cmd.reply:
-		writeJSON(w, rep.status, rep.body)
+	case rep := <-reply:
+		ct := "application/json"
+		if rep.status == statusOK && okContentType != "" {
+			ct = okContentType
+		}
+		w.Header().Set("Content-Type", ct)
+		w.WriteHeader(rep.status)
+		w.Write(rep.body)
 	case <-sess.gone:
 		writeError(w, http.StatusGone, "session deleted")
 	}
+}
+
+// handleLedger serves the session's run ledger as JSONL: one line per
+// sealed control tick, chained hashes over the tick's events, the engine
+// state digest and the RNG cursor. Once the session is done the body is
+// byte-identical to `cmd/fridge -ledger` at the same scenario; mid-run it
+// is the prefix sealed so far.
+func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	cmd := &ledgerCmd{reply: make(chan cmdReply, 1)}
+	dispatch(w, r, sess, cmd, cmd.reply, "application/jsonl")
+}
+
+// handleExplain expands one sealed ledger tick (?t=N, the tick index as
+// reported by cmd/simdiff) into its ledger entry plus the cause-bearing
+// events recorded in that tick's window.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	tick, err := strconv.Atoi(r.URL.Query().Get("t"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "explain needs an integer tick index: ?t=N")
+		return
+	}
+	cmd := &explainCmd{tick: tick, reply: make(chan cmdReply, 1)}
+	dispatch(w, r, sess, cmd, cmd.reply, "")
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -15,6 +15,8 @@ import (
 
 	"servicefridge/internal/cliutil"
 	"servicefridge/internal/engine"
+	"servicefridge/internal/experiments"
+	"servicefridge/internal/obs"
 	"servicefridge/internal/telemetry"
 )
 
@@ -430,5 +432,102 @@ func TestWhatIfWorkloadPerturbations(t *testing.T) {
 	code, body := doReq(t, "POST", ts.URL+"/sessions/"+steady+"/whatif", `{"at_s":1,"rate_factor":2}`)
 	if code != http.StatusUnprocessableEntity {
 		t.Errorf("rate_factor without a workload: %d (%s), want 422", code, body)
+	}
+}
+
+// TestLedgerEndpointMatchesCLI: a done session's /ledger body is
+// byte-identical to a direct engine run of the same scenario with a
+// ledger attached — the CLI-vs-control-plane parity guarantee. The
+// session carries full telemetry and advances in chunks with a t=0
+// snapshot taken; none of that may leak into the ledger.
+func TestLedgerEndpointMatchesCLI(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	id := createSession(t, ts, shortScenario)
+	waitState(t, ts, id, StateDone)
+
+	code, body := doReq(t, "GET", ts.URL+"/sessions/"+id+"/ledger", "")
+	if code != http.StatusOK {
+		t.Fatalf("ledger: status %d: %s", code, body)
+	}
+	if len(body) == 0 {
+		t.Fatal("ledger body empty")
+	}
+
+	sc, err := experiments.LoadScenario(strings.NewReader(shortScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sc.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Ledger = obs.NewLedger()
+	engine.Run(cfg)
+	var want bytes.Buffer
+	if err := cfg.Ledger.WriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != string(body) {
+		t.Fatalf("session ledger differs from direct run:\nsession:\n%s\ndirect:\n%s",
+			body, want.String())
+	}
+
+	// Byte-determinism: a second fetch returns identical bytes.
+	_, again := doReq(t, "GET", ts.URL+"/sessions/"+id+"/ledger", "")
+	if !bytes.Equal(body, again) {
+		t.Fatal("repeated /ledger fetches differ")
+	}
+}
+
+// TestExplainEndpoint: every sealed tick expands to a well-formed,
+// byte-deterministic explain document; at least one tick carries a
+// cause-bearing decision record; bad tick indices are rejected.
+func TestExplainEndpoint(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	id := createSession(t, ts, shortScenario)
+	waitState(t, ts, id, StateDone)
+
+	_, ledger := doReq(t, "GET", ts.URL+"/sessions/"+id+"/ledger", "")
+	ticks := bytes.Count(ledger, []byte("\n"))
+	if ticks == 0 {
+		t.Fatal("no sealed ticks")
+	}
+
+	causes := 0
+	for i := 0; i < ticks; i++ {
+		url := fmt.Sprintf("%s/sessions/%s/explain?t=%d", ts.URL, id, i)
+		code, body := doReq(t, "GET", url, "")
+		if code != http.StatusOK {
+			t.Fatalf("explain t=%d: status %d: %s", i, code, body)
+		}
+		var doc struct {
+			Tick   int               `json:"tick"`
+			Chain  string            `json:"chain"`
+			Causes []json.RawMessage `json:"causes"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("explain t=%d: %v in %s", i, err, body)
+		}
+		if doc.Tick != i || len(doc.Chain) != 16 {
+			t.Fatalf("explain t=%d: bad doc %s", i, body)
+		}
+		causes += len(doc.Causes)
+		if i == 0 {
+			_, again := doReq(t, "GET", url, "")
+			if !bytes.Equal(body, again) {
+				t.Fatal("repeated /explain fetches differ")
+			}
+		}
+	}
+	if causes == 0 {
+		t.Fatal("no cause-bearing events in any sealed tick")
+	}
+
+	if code, _ := doReq(t, "GET",
+		fmt.Sprintf("%s/sessions/%s/explain?t=%d", ts.URL, id, ticks+5), ""); code != http.StatusUnprocessableEntity {
+		t.Fatalf("out-of-range tick: status %d, want 422", code)
+	}
+	if code, _ := doReq(t, "GET", ts.URL+"/sessions/"+id+"/explain?t=abc", ""); code != http.StatusBadRequest {
+		t.Fatalf("non-integer tick: status %d, want 400", code)
 	}
 }

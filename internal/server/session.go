@@ -10,9 +10,18 @@ import (
 	"servicefridge/internal/cliutil"
 	"servicefridge/internal/engine"
 	"servicefridge/internal/experiments"
+	"servicefridge/internal/obs"
 	"servicefridge/internal/sim"
 	"servicefridge/internal/telemetry"
 )
+
+// sessionCmd is a command executed on the session goroutine, which owns
+// the engine exclusively. exec runs with the warm engine; fail answers
+// the command when no engine is (or will be) available.
+type sessionCmd interface {
+	exec(s *session, res *engine.Result, base *engine.RunState)
+	fail(status int, msg string)
+}
 
 // State is a session's lifecycle state.
 type State string
@@ -63,7 +72,7 @@ type session struct {
 	cancelOnce sync.Once
 	gone       chan struct{} // closed by delete/evict: goroutine exits
 	goneOnce   sync.Once
-	cmds       chan *whatifCmd
+	cmds       chan sessionCmd
 }
 
 func newSession(id string, seq int, sc experiments.Scenario, srv *Server) *session {
@@ -76,7 +85,7 @@ func newSession(id string, seq int, sc experiments.Scenario, srv *Server) *sessi
 		state:    StateQueued,
 		cancel:   make(chan struct{}),
 		gone:     make(chan struct{}),
-		cmds:     make(chan *whatifCmd),
+		cmds:     make(chan sessionCmd),
 	}
 	s.tel.EnablePublishing()
 	s.simTotal.Store(int64(sc.Warmup() + sc.Duration()))
@@ -110,7 +119,7 @@ queued:
 		case sem <- struct{}{}:
 			break queued
 		case cmd := <-s.cmds:
-			cmd.fail(statusConflict, "session is queued, what-if needs an engine")
+			cmd.fail(statusConflict, "session is queued and has no engine yet")
 		case <-s.cancel:
 			s.setState(StateCancelled, "")
 			s.srv.sessionTerminal(s)
@@ -126,6 +135,13 @@ queued:
 	var res *engine.Result
 	if err == nil {
 		cfg.Telemetry = s.tel
+		// Every session carries an events recorder and a run ledger:
+		// both are passive (the run is byte-identical with or without
+		// them), and they back GET /ledger and /explain. A done
+		// session's ledger is byte-identical to cmd/fridge -ledger at
+		// the same scenario.
+		cfg.Events = obs.NewRecorder(0)
+		cfg.Ledger = obs.NewLedger()
 		res, err = engine.BuildE(cfg)
 	}
 	if err != nil {
@@ -153,7 +169,7 @@ advance:
 		for {
 			select {
 			case cmd := <-s.cmds:
-				s.execWhatif(res, base, cmd)
+				cmd.exec(s, res, base)
 			case <-s.cancel:
 				cancelled = true
 				break advance
@@ -186,7 +202,7 @@ advance:
 	for {
 		select {
 		case cmd := <-s.cmds:
-			s.execWhatif(res, base, cmd)
+			cmd.exec(s, res, base)
 		case <-s.gone:
 			return
 		}

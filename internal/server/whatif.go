@@ -111,16 +111,21 @@ type whatIfDoc struct {
 
 type whatifCmd struct {
 	req   WhatIfRequest
-	reply chan whatifReply
+	reply chan cmdReply
 }
 
-type whatifReply struct {
+// cmdReply is the session goroutine's answer to any sessionCmd.
+type cmdReply struct {
 	status int
-	body   []byte // JSON document, or an error message when status != 200
+	body   []byte // response document, or an error message when status != 200
 }
 
 func (c *whatifCmd) fail(status int, msg string) {
-	c.reply <- whatifReply{status: status, body: errorBody(msg)}
+	c.reply <- cmdReply{status: status, body: errorBody(msg)}
+}
+
+func (c *whatifCmd) exec(s *session, res *engine.Result, base *engine.RunState) {
+	s.execWhatif(res, base, c)
 }
 
 func branchStats(res *engine.Result, tel *telemetry.Telemetry) branchDoc {
@@ -268,5 +273,5 @@ func (s *session) execWhatif(res *engine.Result, base *engine.RunState, cmd *wha
 		cmd.fail(statusInternal, merr.Error())
 		return
 	}
-	cmd.reply <- whatifReply{status: statusOK, body: append(body, '\n')}
+	cmd.reply <- cmdReply{status: statusOK, body: append(body, '\n')}
 }

@@ -28,6 +28,11 @@ type RNG struct {
 	// spare holds a cached second normal variate from the Box-Muller pair.
 	spare    float64
 	hasSpare bool
+	// children registers streams derived via Stream, in derivation order,
+	// so CursorDigest can fold the position of the whole stream tree. All
+	// derivations happen at build time, so the registry is stable during a
+	// run and survives state Restore (which rewinds values, not structure).
+	children []*RNG
 }
 
 // NewRNG returns a stream seeded from seed. Two RNGs with the same seed
@@ -49,7 +54,46 @@ func (r *RNG) Stream(name string) *RNG {
 		h ^= uint64(name[i])
 		h *= 1099511628211
 	}
-	return NewRNG(r.Uint64() ^ h)
+	child := NewRNG(r.Uint64() ^ h)
+	r.children = append(r.children, child)
+	return child
+}
+
+// CursorDigest folds the position of this stream and every stream ever
+// derived from it (recursively, in derivation order) into one FNV-1a
+// hash. Two RNG trees with equal digests will produce identical future
+// draws from every stream — the property that makes the run ledger's
+// divergence detection sound: state and events can momentarily agree
+// between two runs while their RNG cursors already differ, and the
+// cursor digest catches that tick, not the later one where the drift
+// becomes visible.
+func (r *RNG) CursorDigest() uint64 {
+	h := uint64(14695981039346656037)
+	r.foldCursor(&h)
+	return h
+}
+
+func (r *RNG) foldCursor(h *uint64) {
+	foldWord(h, r.state)
+	foldWord(h, math.Float64bits(r.spare))
+	if r.hasSpare {
+		foldWord(h, 1)
+	} else {
+		foldWord(h, 0)
+	}
+	for _, c := range r.children {
+		c.foldCursor(h)
+	}
+}
+
+// foldWord folds one 64-bit word into the FNV-1a accumulator, low byte
+// first.
+func foldWord(h *uint64, v uint64) {
+	for i := 0; i < 8; i++ {
+		*h ^= v & 0xff
+		*h *= 1099511628211
+		v >>= 8
+	}
 }
 
 // Uint64 returns the next 64 random bits.

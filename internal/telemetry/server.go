@@ -260,6 +260,8 @@ func WriteMetricsTo(buf *bytes.Buffer, snap *Snapshot) {
 	p.counter("fridge_demotions_total", "Algorithm 1 demotions.", float64(s.Demotions))
 	p.gauge("fridge_slo_active", "Monitored series currently in violation.", float64(s.SLOActive))
 	p.counter("fridge_qos_violations_total", "QoS violation events since start.", float64(s.QoSViolationsTotal))
+	p.counter("fridge_events_dropped_total", "Controller events overwritten by obs-ring wraparound.", float64(s.EventsDropped))
+	p.counter("fridge_telemetry_samples_dropped_total", "Telemetry samples overwritten by ring wraparound.", float64(s.SamplesDropped))
 }
 
 func writeSeries(p *promWriter, series string, st *SeriesStats) {
@@ -304,6 +306,10 @@ type statusDoc struct {
 	Migrations uint64             `json:"migrations_total"`
 	Promotions uint64             `json:"promotions_total"`
 	Demotions  uint64             `json:"demotions_total"`
+	// Drop counters appear only when nonzero, so the common lossless run
+	// keeps its historical byte layout (the smoke goldens diff it).
+	EventsDropped  uint64 `json:"events_dropped_total,omitempty"`
+	SamplesDropped uint64 `json:"samples_dropped_total,omitempty"`
 }
 
 // WriteStatusTo writes one snapshot as a single line of JSON followed by
@@ -319,13 +325,15 @@ func WriteStatusTo(w io.Writer, snap *Snapshot) error {
 	}
 	s := &snap.Sample
 	doc := statusDoc{
-		Scheme:     snap.Scheme,
-		SimSeconds: secs(time.Duration(snap.At)),
-		SLO:        snap.SLO,
-		Requests:   s.Requests,
-		Migrations: s.Migrations,
-		Promotions: s.Promotions,
-		Demotions:  s.Demotions,
+		Scheme:         snap.Scheme,
+		SimSeconds:     secs(time.Duration(snap.At)),
+		SLO:            snap.SLO,
+		Requests:       s.Requests,
+		Migrations:     s.Migrations,
+		Promotions:     s.Promotions,
+		Demotions:      s.Demotions,
+		EventsDropped:  s.EventsDropped,
+		SamplesDropped: s.SamplesDropped,
 	}
 	if s.HasCluster {
 		doc.PowerW, doc.BudgetW, doc.HeadroomW = &s.PowerW, &s.BudgetW, &s.HeadroomW

@@ -156,6 +156,10 @@ type Bindings struct {
 	Cluster func() (powerW, budgetW, util float64, ok bool)
 	// Migrations is the orchestrator's cumulative migration count.
 	Migrations func() uint64
+	// EventsDropped, when non-nil, returns how many controller events the
+	// run's obs ring has overwritten — surfaced on /metrics and /status so
+	// an undersized recorder is visible instead of silently lossy.
+	EventsDropped func() uint64
 	// Controller, when non-nil, exposes zone-level controller state.
 	Controller ControllerProbe
 	// Alpha and Beta are the warm-zone utilization bounds (0 without a
@@ -208,6 +212,11 @@ type Sample struct {
 	// tick; QoSViolationsTotal counts violation events since the start.
 	SLOActive          int
 	QoSViolationsTotal uint64
+	// EventsDropped is the run's cumulative obs-ring overwrite count at
+	// this tick (0 without a bound recorder); SamplesDropped counts
+	// telemetry rows this ring has overwritten.
+	EventsDropped  uint64
+	SamplesDropped uint64
 }
 
 // Telemetry samples one run. Create with New, attach with engine.Config.
@@ -395,6 +404,11 @@ func (t *Telemetry) Sample() {
 	row.Alpha, row.Beta = t.b.Alpha, t.b.Beta
 	row.Migrations = t.b.Migrations()
 	row.Requests, row.Spans = t.totalRequests, t.totalSpans
+	row.EventsDropped = 0
+	if t.b.EventsDropped != nil {
+		row.EventsDropped = t.b.EventsDropped()
+	}
+	row.SamplesDropped = t.dropped
 
 	t.evalSLO(now, row)
 	row.SLOActive = t.active

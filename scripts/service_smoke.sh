@@ -10,7 +10,10 @@
 #   2. the two /whatif bodies are byte-identical to each other and to
 #      testdata/service_smoke/whatif.golden.json;
 #   3. the post-detour /result still matches the golden (the what-if
-#      fork left no trace in the session).
+#      fork left no trace in the session);
+#   4. the two sessions' /ledger bodies (hash-chained run ledgers) are
+#      byte-identical even after the what-if detours, and repeated
+#      /explain fetches return identical bytes.
 #
 # Every request/response pair is appended to $OUT/transcript.jsonl (one
 # JSON object per line) so CI can upload the full exchange as an
@@ -107,6 +110,15 @@ req POST /sessions/s2/whatif "$GOLDEN/whatif.json" > "$OUT/whatif_s2.json"
 # The what-if fork must leave the session's result untouched.
 req GET /sessions/s1/result > "$OUT/result_s1_after.json"
 
+# The run ledger: identical sessions publish byte-identical hash-chained
+# ledgers, even after the what-if detours above (forks replay on copies
+# and never re-seal the session's chain). Ledger bodies are multi-line
+# JSONL, so they bypass the single-line transcript helper.
+curl -sS "$BASE/sessions/s1/ledger" > "$OUT/ledger_s1.jsonl"
+curl -sS "$BASE/sessions/s2/ledger" > "$OUT/ledger_s2.jsonl"
+req GET "/sessions/s1/explain?t=0" > "$OUT/explain_s1.json"
+req GET "/sessions/s1/explain?t=0" > "$OUT/explain_s1_again.json"
+
 # The trace-driven session: replay an inline t,region,rate trace, then a
 # what-if that swaps the traffic profile to flash-crowd mid-run.
 req GET /sessions/s3/result > "$OUT/result_s3.json"
@@ -130,6 +142,12 @@ diff "$OUT/whatif_s1.json" "$OUT/whatif_s2.json" \
   || { echo "service_smoke: /whatif differs between identical sessions" >&2; exit 1; }
 diff "$OUT/result_s1.json" "$OUT/result_s1_after.json" \
   || { echo "service_smoke: what-if detour changed the session result" >&2; exit 1; }
+[ -s "$OUT/ledger_s1.jsonl" ] \
+  || { echo "service_smoke: /ledger returned an empty body" >&2; exit 1; }
+diff "$OUT/ledger_s1.jsonl" "$OUT/ledger_s2.jsonl" \
+  || { echo "service_smoke: /ledger differs between identical sessions" >&2; exit 1; }
+diff "$OUT/explain_s1.json" "$OUT/explain_s1_again.json" \
+  || { echo "service_smoke: repeated /explain fetches disagree" >&2; exit 1; }
 diff "$GOLDEN/result.golden.json" "$OUT/result_s1.json" \
   || { echo "service_smoke: /result drifted from the committed golden (run scripts/service_smoke.sh -update)" >&2; exit 1; }
 diff "$GOLDEN/whatif.golden.json" "$OUT/whatif_s1.json" \
