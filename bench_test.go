@@ -24,6 +24,7 @@ import (
 	"servicefridge/internal/fridge"
 	"servicefridge/internal/metrics"
 	"servicefridge/internal/obs"
+	"servicefridge/internal/prof"
 	"servicefridge/internal/sim"
 	"servicefridge/internal/telemetry"
 	"servicefridge/internal/trace"
@@ -127,8 +128,20 @@ func TestEmitBenchTrajectory(t *testing.T) {
 	// and record the mode in the entry.
 	experiments.SetWarmStart(true)
 	defer experiments.SetWarmStart(false)
-	// Warm the per-seed calibration cache so neither mode pays for it.
+	// Phase-profile the sequential pass so per-phase seconds land in the
+	// trajectory and phase-level drift is visible across PRs. Profiling
+	// stays off for the parallel pass (its overhead gate lives in
+	// scripts/profiler_overhead.sh); the ≤3% scope cost on the sequential
+	// side is far below run-to-run noise.
+	prof.Reset()
+	prof.SetEnabled(true)
 	seqTotal, perExp := registryTiming(1)
+	prof.SetEnabled(false)
+	perPhase := map[string]float64{}
+	for _, pt := range prof.Totals() {
+		perPhase[pt.Phase.String()] = pt.Seconds
+	}
+	prof.Reset()
 	parTotal, _ := registryTiming(runtime.GOMAXPROCS(0))
 
 	type entry struct {
@@ -141,6 +154,7 @@ func TestEmitBenchTrajectory(t *testing.T) {
 		Speedup           float64            `json:"speedup"`
 		WarmStart         bool               `json:"warmstart,omitempty"`
 		PerExperimentSeq  map[string]float64 `json:"per_experiment_sequential_seconds"`
+		PerPhaseSeconds   map[string]float64 `json:"per_phase_seconds,omitempty"`
 	}
 	var trajectory []entry
 	if raw, err := os.ReadFile("BENCH_experiments.json"); err == nil {
@@ -156,6 +170,7 @@ func TestEmitBenchTrajectory(t *testing.T) {
 		Speedup:           seqTotal.Seconds() / parTotal.Seconds(),
 		WarmStart:         true,
 		PerExperimentSeq:  perExp,
+		PerPhaseSeconds:   perPhase,
 	})
 	raw, err := json.MarshalIndent(trajectory, "", "  ")
 	if err != nil {
@@ -524,6 +539,40 @@ func BenchmarkLedgerTick(b *testing.B) {
 	}
 	if led.Len() != b.N {
 		b.Fatalf("sealed %d of %d ticks", led.Len(), b.N)
+	}
+}
+
+// BenchmarkPhaseScope measures one Enter/Exit pair on a live profiler —
+// the cost phase profiling adds around every instrumented simulator
+// scope when -profile is on. Gated allocation-free via bench_gates.json:
+// the scope body runs inside the deterministic sim loop, so it must
+// never disturb the heap.
+func BenchmarkPhaseScope(b *testing.B) {
+	p := prof.NewDetached("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Enter(prof.Exec)
+		p.Exit()
+	}
+	b.StopTimer()
+	for _, pt := range p.Totals() {
+		if pt.Phase == prof.Exec && pt.Count != int64(b.N) {
+			b.Fatalf("counted %d scopes, want %d", pt.Count, b.N)
+		}
+	}
+}
+
+// BenchmarkPhaseScopeDisabled measures the same pair on the nil
+// (disabled) profiler — the cost every run pays when -profile is off,
+// which is two nil checks.
+func BenchmarkPhaseScopeDisabled(b *testing.B) {
+	var p *prof.Profiler
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Enter(prof.Exec)
+		p.Exit()
 	}
 }
 

@@ -35,11 +35,21 @@
 //     -improve (first vs latest), the ratchet tightens itself: every
 //     faster run becomes the new mark to hold.
 //
+//  5. With -overhead, the profiler-overhead gate: "base:profiled:max"
+//     takes two wall-clock measurements of the same workload in seconds
+//     — phase profiling off and on — and fails when profiled exceeds
+//     base times the max ratio ("12.31:12.49:1.03" allows 3%). The
+//     caller (scripts/profiler_overhead.sh) measures; benchgate judges.
+//
+// Passing -file "" skips the trajectory gates (1, 2, 4), so the
+// overhead and microbenchmark gates can run standalone.
+//
 // Usage:
 //
 //	benchgate [-file BENCH_experiments.json] [-floor 1.0]
 //	          [-improve fig15:0.20] [-ratchet fig14+fig15:0.10]
 //	          [-bench-out bench.txt] [-gates bench_gates.json]
+//	          [-overhead baseSecs:profiledSecs:maxRatio]
 package main
 
 import (
@@ -89,31 +99,66 @@ func main() {
 		benchOut = flag.String("bench-out", "",
 			"output of `go test -bench -benchmem` to check against the gates file")
 		gatesFile = flag.String("gates", "bench_gates.json", "microbenchmark ceilings (allocs/op, ns/op)")
+		overhead  = flag.String("overhead", "",
+			"profiler-overhead gate baseSecs:profiledSecs:maxRatio, e.g. 12.31:12.49:1.03")
 	)
 	flag.Parse()
 
 	failed := false
 
-	trajectory, err := readTrajectory(*file)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(1)
-	}
-	if !gateSpeedup(trajectory, *floor) {
-		failed = true
-	}
-	if *improve != "" && !gateImprovements(trajectory, *improve) {
-		failed = true
-	}
-	if *ratchet != "" && !gateRatchet(trajectory, *ratchet) {
-		failed = true
+	if *file != "" {
+		trajectory, err := readTrajectory(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		if !gateSpeedup(trajectory, *floor) {
+			failed = true
+		}
+		if *improve != "" && !gateImprovements(trajectory, *improve) {
+			failed = true
+		}
+		if *ratchet != "" && !gateRatchet(trajectory, *ratchet) {
+			failed = true
+		}
 	}
 	if *benchOut != "" && !gateMicrobenches(*benchOut, *gatesFile) {
+		failed = true
+	}
+	if *overhead != "" && !gateOverhead(*overhead) {
 		failed = true
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// gateOverhead checks one "base:profiled:maxRatio" demand: the profiled
+// wall-clock must stay within maxRatio times the unprofiled one. Both
+// measurements come from the caller (take the min of several runs to
+// shed scheduler noise) so the gate itself is a pure comparison.
+func gateOverhead(spec string) bool {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		fmt.Fprintf(os.Stderr, "benchgate: malformed -overhead %q (want base:profiled:maxRatio)\n", spec)
+		return false
+	}
+	base, err1 := strconv.ParseFloat(parts[0], 64)
+	profiled, err2 := strconv.ParseFloat(parts[1], 64)
+	ratio, err3 := strconv.ParseFloat(parts[2], 64)
+	if err1 != nil || err2 != nil || err3 != nil || base <= 0 || profiled <= 0 || ratio < 1 {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -overhead values in %q\n", spec)
+		return false
+	}
+	got := profiled / base
+	if got > ratio {
+		fmt.Fprintf(os.Stderr, "benchgate: profiling overhead %.1f%% (%.2fs -> %.2fs) exceeds the %.0f%% budget\n",
+			(got-1)*100, base, profiled, (ratio-1)*100)
+		return false
+	}
+	fmt.Printf("benchgate: profiling overhead %.1f%% (%.2fs -> %.2fs) within the %.0f%% budget\n",
+		(got-1)*100, base, profiled, (ratio-1)*100)
+	return true
 }
 
 func readTrajectory(file string) ([]entry, error) {

@@ -154,3 +154,21 @@ PASS
 		t.Errorf("parsed %+v", lines[1])
 	}
 }
+
+func TestGateOverhead(t *testing.T) {
+	if !gateOverhead("12.31:12.49:1.03") {
+		t.Error("1.5% overhead rejected against a 3% budget")
+	}
+	if gateOverhead("10.00:10.50:1.03") {
+		t.Error("5% overhead accepted against a 3% budget")
+	}
+	// Faster with profiling on (measurement noise) still passes.
+	if !gateOverhead("10.00:9.90:1.03") {
+		t.Error("negative overhead rejected")
+	}
+	for _, bad := range []string{"", "1:2", "a:b:c", "0:1:1.03", "1:0:1.03", "1:1:0.9"} {
+		if gateOverhead(bad) {
+			t.Errorf("malformed spec %q accepted", bad)
+		}
+	}
+}

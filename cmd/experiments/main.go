@@ -35,7 +35,10 @@
 // writes the hash-chained tick digests as JSONL (localize any divergence
 // with cmd/simdiff). All exports are byte-identical across -parallel
 // widths. -cpuprofile/-memprofile write pprof profiles of the
-// regeneration itself.
+// regeneration itself; -profile writes the simulator's own per-phase
+// wall-time breakdown (build/dispatch/exec/tick/mcf/...) as JSON,
+// aggregated per figure, with a sorted table on stderr. Phase profiling
+// is passive: all simulation outputs stay byte-identical with it on.
 package main
 
 import (
@@ -44,7 +47,6 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -65,17 +67,17 @@ func run() int {
 			"max concurrent simulation runs (1 = sequential)")
 		warmstart = flag.Bool("warmstart", false,
 			"fork budget-sweep cells from one warmed-up snapshot per group (byte-identical output, less wall clock)")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the regeneration to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile (post-regeneration) to this file")
-		scenario   = flag.String("scenario", "",
+		scenario = flag.String("scenario", "",
 			"run one JSON scenario spec (the control-plane format, see EXPERIMENTS.md) and print its report instead of regenerating figures")
-		wl       cliutil.WorkloadFlags
-		exports  cliutil.ExportFlags
-		telFlags cliutil.TelemetryFlags
+		wl        cliutil.WorkloadFlags
+		exports   cliutil.ExportFlags
+		telFlags  cliutil.TelemetryFlags
+		profFlags cliutil.ProfileFlags
 	)
 	wl.Bind(flag.CommandLine)
 	exports.Bind(flag.CommandLine, 0.05)
 	telFlags.Bind(flag.CommandLine)
+	profFlags.Bind(flag.CommandLine)
 	flag.Parse()
 	visited := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { visited[f.Name] = true })
@@ -121,25 +123,16 @@ func run() int {
 	// Export destinations are probed before any simulation runs: an
 	// unwritable path fails the command in milliseconds, not after the
 	// full regeneration.
-	if err := cliutil.CheckWritable(exports.Events, exports.Traces, exports.Ledger, telFlags.Timeseries); err != nil {
+	paths := append([]string{exports.Events, exports.Traces, exports.Ledger, telFlags.Timeseries},
+		profFlags.Paths()...)
+	if err := cliutil.CheckWritable(paths...); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		return 1
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			return 1
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			return 1
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	if err := profFlags.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
 	}
 
 	experiments.SetParallelism(*parallel)
@@ -209,14 +202,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "(run ledger written to %s)\n", exports.Ledger)
 	}
 
-	if *memprofile != "" {
-		if err := cliutil.ExportFile(*memprofile, func(w io.Writer) error {
-			runtime.GC()
-			return pprof.WriteHeapProfile(w)
-		}); err != nil {
-			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-			return 1
-		}
+	// The phase profile aggregates every run the regeneration (and the
+	// canonical exports above) performed, one label per figure.
+	if err := profFlags.Finish(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
 	}
 	return 0
 }

@@ -13,10 +13,11 @@
 //	fridge -scheme ServiceFridge -sweep 1.0,0.9,0.8,0.75 -warmstart
 //
 // With -listen the process serves Prometheus text-format /metrics, a JSON
-// /status snapshot, /healthz, and the simulation control plane under
-// /sessions (POST a scenario spec, poll it, stream its telemetry, ask
-// what-if questions — see internal/server) while the local simulation
-// runs, and keeps serving after the results print until interrupted.
+// /status snapshot, /healthz, Go's /debug/pprof endpoints, and the
+// simulation control plane under /sessions (POST a scenario spec, poll
+// it, stream its telemetry, ask what-if questions — see internal/server)
+// while the local simulation runs, and keeps serving after the results
+// print until interrupted.
 // Serving is read-only off atomically published snapshots, so scraping
 // never perturbs the (deterministic) run. -serve skips the local run and
 // only serves the control plane.
@@ -27,18 +28,28 @@
 // budget-independence barrier, and forks every cell from that snapshot —
 // the numbers are byte-identical to cold runs, only the wall clock drops.
 //
+// -profile writes the simulator's own per-phase wall-time breakdown
+// (build/dispatch/exec/tick/mcf/...) as JSON with a sorted table on
+// stderr; it combines with every mode, including -sweep (one label per
+// cold cell), because phase profiling is passive — all simulation
+// outputs are byte-identical with it on. -cpuprofile/-memprofile write
+// Go pprof profiles of the process itself.
+//
 // All flag and configuration validation happens before any socket is
 // bound, so a bad spec can never leave a half-started listener behind.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -55,24 +66,26 @@ import (
 
 func main() {
 	var (
-		scheme   = flag.String("scheme", "Baseline", "power scheme: "+strings.Join(schemes.Names(), ", "))
-		budget   = flag.Float64("budget", 1.0, "power budget fraction of maximum (0.75..1.0)")
-		workers  = flag.Int("workers", 50, "closed-loop worker count (0 when a -workload/-trace drives the run)")
-		mixA     = flag.Float64("mixA", 1, "weight of region A (Advanced Search) requests")
-		mixB     = flag.Float64("mixB", 1, "weight of region B (Basic Ticketing) requests")
-		duration = flag.Duration("duration", 30*time.Second, "measured duration after warmup")
-		warmup   = flag.Duration("warmup", 5*time.Second, "warmup duration (discarded)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		sweep    = flag.String("sweep", "", "comma-separated budget fractions to sweep (overrides -budget); prints one row per cell")
-		warm     = flag.Bool("warmstart", false, "with -sweep: simulate warmup once and fork each cell from a snapshot (byte-identical results)")
-		serve    = flag.Bool("serve", false, "with -listen: serve the control plane only, without a local run")
-		wl       cliutil.WorkloadFlags
-		exports  cliutil.ExportFlags
-		telFlags cliutil.TelemetryFlags
+		scheme    = flag.String("scheme", "Baseline", "power scheme: "+strings.Join(schemes.Names(), ", "))
+		budget    = flag.Float64("budget", 1.0, "power budget fraction of maximum (0.75..1.0)")
+		workers   = flag.Int("workers", 50, "closed-loop worker count (0 when a -workload/-trace drives the run)")
+		mixA      = flag.Float64("mixA", 1, "weight of region A (Advanced Search) requests")
+		mixB      = flag.Float64("mixB", 1, "weight of region B (Basic Ticketing) requests")
+		duration  = flag.Duration("duration", 30*time.Second, "measured duration after warmup")
+		warmup    = flag.Duration("warmup", 5*time.Second, "warmup duration (discarded)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		sweep     = flag.String("sweep", "", "comma-separated budget fractions to sweep (overrides -budget); prints one row per cell")
+		warm      = flag.Bool("warmstart", false, "with -sweep: simulate warmup once and fork each cell from a snapshot (byte-identical results)")
+		serve     = flag.Bool("serve", false, "with -listen: serve the control plane only, without a local run")
+		wl        cliutil.WorkloadFlags
+		exports   cliutil.ExportFlags
+		telFlags  cliutil.TelemetryFlags
+		profFlags cliutil.ProfileFlags
 	)
 	wl.Bind(flag.CommandLine)
 	exports.Bind(flag.CommandLine, 1)
 	telFlags.BindServe(flag.CommandLine)
+	profFlags.Bind(flag.CommandLine)
 	flag.Parse()
 
 	spec, err := wl.LoadSpec()
@@ -118,6 +131,8 @@ func main() {
 
 	// Everything below validates before any listener binds: a bad sweep
 	// spec, flag combination or configuration must not leak a socket.
+	// Profiling flags do combine with -sweep: phase profiling is passive,
+	// so a sweep profiles fine (one label per cell).
 	if *sweep != "" {
 		if exports.Events != "" || exports.Traces != "" || exports.Ledger != "" || telFlags.Timeseries != "" || telFlags.Listen != "" {
 			fmt.Fprintln(os.Stderr, "fridge: -sweep does not combine with exports or -listen")
@@ -128,8 +143,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fridge: %v\n", err)
 			os.Exit(1)
 		}
+		if err := cliutil.CheckWritable(profFlags.Paths()...); err != nil {
+			fmt.Fprintf(os.Stderr, "fridge: %v\n", err)
+			os.Exit(1)
+		}
+		if err := profFlags.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "fridge: %v\n", err)
+			os.Exit(1)
+		}
 		if err := runSweep(cfg, fracs, *warm); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := profFlags.Finish(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "fridge: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -149,7 +176,9 @@ func main() {
 	// Export destinations are probed before the run (and before any
 	// listener binds): an unwritable path fails now, not after minutes of
 	// simulation.
-	if err := cliutil.CheckWritable(exports.Events, exports.Traces, exports.Ledger, telFlags.Timeseries); err != nil {
+	paths := append([]string{exports.Events, exports.Traces, exports.Ledger, telFlags.Timeseries},
+		profFlags.Paths()...)
+	if err := cliutil.CheckWritable(paths...); err != nil {
 		fmt.Fprintf(os.Stderr, "fridge: %v\n", err)
 		os.Exit(1)
 	}
@@ -179,6 +208,15 @@ func main() {
 		mux := http.NewServeMux()
 		telemetry.Register(mux, tel)
 		server.New(server.Options{}).Register(mux)
+		// Go's pprof endpoints, registered by hand because this is a
+		// private mux, not http.DefaultServeMux. Combined with the pprof
+		// labels the runs execute under, `go tool pprof
+		// http://host/debug/pprof/profile` attributes CPU per session.
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 		go (&http.Server{Handler: mux}).Serve(ln)
 		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", served)
 		fmt.Fprintf(os.Stderr, "control plane: POST scenarios to http://%s/sessions\n", served)
@@ -191,7 +229,14 @@ func main() {
 		return
 	}
 
-	res, err := engine.RunE(cfg)
+	if err := profFlags.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "fridge: %v\n", err)
+		os.Exit(1)
+	}
+	var res *engine.Result
+	pprof.Do(context.Background(), pprof.Labels("run", "local"), func(context.Context) {
+		res, err = engine.RunE(cfg)
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -227,6 +272,11 @@ func main() {
 	}
 
 	cliutil.RunReport(os.Stdout, res, tel, telFlags.SLOTarget)
+
+	if err := profFlags.Finish(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "fridge: %v\n", err)
+		os.Exit(1)
+	}
 
 	if res.Executor.Completed() == 0 {
 		fmt.Fprintln(os.Stderr, "warning: no requests completed")
@@ -283,6 +333,9 @@ func runSweep(cfg engine.Config, fracs []float64, warm bool) error {
 	}
 
 	if warm {
+		// The donor engine serves every cell, so the phase profile carries
+		// a single label: per-cell attribution needs a cold sweep.
+		cfg.ProfLabel = "sweep-warm"
 		donor, err := engine.BuildE(cfg)
 		if err != nil {
 			return err
@@ -299,7 +352,12 @@ func runSweep(cfg engine.Config, fracs []float64, warm bool) error {
 		for _, frac := range fracs {
 			c := cfg
 			c.BudgetFraction = frac
-			res, err := engine.RunE(c)
+			c.ProfLabel = fmt.Sprintf("sweep[%.0f%%]", frac*100)
+			var res *engine.Result
+			var err error
+			pprof.Do(context.Background(), pprof.Labels("cell", c.ProfLabel), func(context.Context) {
+				res, err = engine.RunE(c)
+			})
 			if err != nil {
 				return err
 			}

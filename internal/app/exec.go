@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"servicefridge/internal/cluster"
+	"servicefridge/internal/prof"
 	"servicefridge/internal/sim"
 	"servicefridge/internal/trace"
 )
@@ -45,6 +46,12 @@ type Executor struct {
 
 	launched  uint64
 	completed uint64
+
+	// prof, when non-nil, receives the per-invocation exec count. The
+	// exec phase is count-only (see prof.Count): a timed scope per
+	// invocation would cost more wall time than the handlers it
+	// measures, so invocation seconds stay inside the dispatch scope.
+	prof *prof.Profiler
 
 	// live sets (index-tracked, swap-removed) and free pools.
 	liveReqs  []*request
@@ -116,6 +123,10 @@ func (x *Executor) Spec() *Spec { return x.spec }
 
 // Collector returns the trace collector receiving spans.
 func (x *Executor) Collector() *trace.Collector { return x.col }
+
+// SetProfiler attaches a phase profiler to the executor's invocation
+// counter (nil detaches). Wired by the engine builder.
+func (x *Executor) SetProfiler(p *prof.Profiler) { x.prof = p }
 
 // Launched returns how many requests have been started.
 func (x *Executor) Launched() uint64 { return x.launched }
@@ -228,6 +239,9 @@ func (x *Executor) invoke(req *request, cr *callRun, tr *trace.Trace, service st
 
 func (inv *invocation) submit() {
 	x := inv.x
+	// Count-only: a timed scope per invocation costs more than the
+	// handler (see prof.Count); the wall time lands under Dispatch.
+	x.prof.Count(prof.Exec)
 	host := x.place.HostFor(inv.service)
 	if host == nil {
 		panic(fmt.Sprintf("app: service %q has no placed instance", inv.service))

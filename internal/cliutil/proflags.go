@@ -1,0 +1,91 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"servicefridge/internal/prof"
+)
+
+// ProfileFlags groups the self-observability flags shared by cmd/fridge
+// and cmd/experiments: -profile enables the simulator's phase profiler
+// (internal/prof) and writes its JSON report, -cpuprofile/-memprofile
+// write Go pprof profiles of the process itself. Phase profiling is
+// passive — simulation outputs are byte-identical with it on or off — so
+// it is safe to combine with the determinism-gated exports.
+type ProfileFlags struct {
+	// Phase is the -profile destination: the aggregated per-label,
+	// per-phase JSON report (empty = phase profiling disabled).
+	Phase string
+	// CPU and Mem are the pprof profile destinations.
+	CPU string
+	Mem string
+
+	cpuFile *os.File
+}
+
+// Bind registers the flag group on fs.
+func (p *ProfileFlags) Bind(fs *flag.FlagSet) {
+	fs.StringVar(&p.Phase, "profile", "",
+		"write the simulator's per-phase wall-time profile as JSON to this file (sorted table on stderr)")
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a pprof heap profile (post-run) to this file")
+}
+
+// Paths returns the output destinations, for CheckWritable probing
+// before any simulation work runs.
+func (p *ProfileFlags) Paths() []string { return []string{p.Phase, p.CPU, p.Mem} }
+
+// Start turns phase profiling on when -profile was given and starts the
+// CPU profile when -cpuprofile was given. Pair with Finish once the
+// profiled work is done.
+func (p *ProfileFlags) Start() error {
+	if p.Phase != "" {
+		prof.SetEnabled(true)
+	}
+	if p.CPU != "" {
+		f, err := os.Create(p.CPU)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return nil
+}
+
+// Finish stops the CPU profile, writes the heap profile, writes the
+// phase-profile JSON, and renders the sorted per-phase table to table
+// (conventionally stderr, keeping stdout deterministic).
+func (p *ProfileFlags) Finish(table io.Writer) error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := p.cpuFile.Close()
+		p.cpuFile = nil
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if p.Mem != "" {
+		if err := ExportFile(p.Mem, func(w io.Writer) error {
+			runtime.GC()
+			return pprof.WriteHeapProfile(w)
+		}); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	if p.Phase != "" {
+		if err := ExportFile(p.Phase, prof.WriteJSON); err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+		prof.WriteTable(table)
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"servicefridge/internal/obs"
 	"servicefridge/internal/orchestrator"
 	"servicefridge/internal/power"
+	"servicefridge/internal/prof"
 	"servicefridge/internal/schemes"
 	"servicefridge/internal/sim"
 	"servicefridge/internal/telemetry"
@@ -143,6 +144,19 @@ type Config struct {
 	// like Events/Telemetry: identical runs seal byte-identical ledgers,
 	// and attaching a ledger changes no other output.
 	Ledger *obs.Ledger
+	// Prof, when non-nil, is the run's phase profiler: wall time, call
+	// counts, and (for control-rate phases) allocation bytes are
+	// attributed to the build/dispatch/exec/tick/mcf/zones/telemetry/
+	// encode/seal/snapshot phases. When nil and process-wide profiling is
+	// enabled (prof.Enabled()), BuildE creates and registers one labelled
+	// ProfLabel. Passive like Events/Telemetry/Ledger: the profiler reads
+	// only the monotonic wall clock, so a profiled run's outputs are
+	// byte-identical to an unprofiled run's.
+	Prof *prof.Profiler
+	// ProfLabel is the aggregation label for BuildE's auto-created
+	// profiler (a figure ID, a sweep cell, a session name); empty
+	// aggregates under "run". Ignored when Prof is set explicitly.
+	ProfLabel string
 }
 
 func (c *Config) fill() {
@@ -355,7 +369,16 @@ func BuildE(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Prof == nil {
+		// prof.New returns nil while profiling is disabled, keeping every
+		// scope below a single pointer test.
+		cfg.Prof = prof.New(cfg.ProfLabel)
+	}
+	pr := cfg.Prof
+	pr.Enter(prof.Build)
+	defer pr.Exit()
 	eng := sim.NewEngine(cfg.Seed)
+	eng.SetProfiler(pr)
 	cl := cluster.DefaultTestbed(eng)
 	for i := 0; i < cfg.ExtraWorkers; i++ {
 		cl.AddServer(fmt.Sprintf("serverD%d", i+1), cluster.RoleNormalWorker, 6)
@@ -399,6 +422,7 @@ func BuildE(cfg Config) (*Result, error) {
 	col.KeepSpans = cfg.KeepSpans
 	col.Presize(cfg.Spec.ServiceNames(), 0)
 	exec := app.NewExecutor(eng, cfg.Spec, orch, col, eng.RNG().Stream("exec"))
+	exec.SetProfiler(pr)
 
 	model := power.DefaultModel()
 	meter := power.NewMeter(cl, model, cfg.MeterInterval)
@@ -415,6 +439,7 @@ func BuildE(cfg Config) (*Result, error) {
 		cfg.Events.SetLedger(cfg.Ledger)
 	}
 	if cfg.Events != nil {
+		cfg.Events.SetProfiler(pr)
 		orch.Rec = cfg.Events
 		meter.Rec = cfg.Events
 		meter.BudgetFn = func() power.Watts { return budget.Cap() }
@@ -437,6 +462,7 @@ func BuildE(cfg Config) (*Result, error) {
 		if cfg.Tune != nil {
 			cfg.Tune(f)
 		}
+		f.SetProfiler(pr)
 		res.Fridge = f
 	}
 	var launcher workload.Launcher = exec
@@ -486,6 +512,7 @@ func BuildE(cfg Config) (*Result, error) {
 	}
 	if cfg.Telemetry != nil {
 		tel := cfg.Telemetry
+		tel.SetProfiler(pr)
 		b := telemetry.Bindings{
 			Now:      eng.Now,
 			Scheme:   string(cfg.Scheme),
@@ -554,7 +581,9 @@ func BuildE(cfg Config) (*Result, error) {
 		// calendar order is registration order.
 		led := cfg.Ledger
 		eng.Every(cfg.ControlInterval, func() {
+			pr.Enter(prof.Seal)
 			led.Seal(eng.Now(), res.stateDigest(), eng.RNG().CursorDigest())
+			pr.Exit()
 		})
 	}
 	return res, nil

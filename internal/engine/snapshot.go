@@ -7,6 +7,7 @@ import (
 	"servicefridge/internal/obs"
 	"servicefridge/internal/orchestrator"
 	"servicefridge/internal/power"
+	"servicefridge/internal/prof"
 	"servicefridge/internal/sim"
 	"servicefridge/internal/telemetry"
 	"servicefridge/internal/trace"
@@ -52,6 +53,12 @@ func (s *RunState) Now() sim.Time { return s.eng.Now() }
 // keeps slice headers; everything mutated in place is deep-copied by the
 // component snapshots.
 func (r *Result) Snapshot() *RunState {
+	// The profiler is deliberately not part of RunState: profiling
+	// accumulates across restores (it measures the process, not the
+	// simulated timeline), and keeping it out of the state is what makes
+	// it invisible to warm-started forks.
+	r.Config.Prof.Enter(prof.Snapshot)
+	defer r.Config.Prof.Exit()
 	s := &RunState{
 		eng:     r.Engine.Snapshot(),
 		cluster: r.Cluster.Snapshot(),
@@ -94,6 +101,8 @@ func (r *Result) Snapshot() *RunState {
 // closures capture pointers into it. Memoized latency statistics are
 // dropped (ResetStats) since the collector store rewinds.
 func (r *Result) Restore(s *RunState) {
+	r.Config.Prof.Enter(prof.Snapshot)
+	defer r.Config.Prof.Exit()
 	r.Engine.Restore(s.eng)
 	r.Cluster.Restore(s.cluster)
 	r.Orch.Restore(s.orch)

@@ -11,8 +11,9 @@ import (
 // fig15Budgets is the x-axis of Figure 15.
 var fig15Budgets = []float64{1.0, 0.95, 0.90, 0.85, 0.80, 0.75}
 
-// compareConfig is one scheme/budget cell of the §6.4 comparison.
-func compareConfig(seed uint64, scheme engine.SchemeName, budget float64, keepSpans bool) engine.Config {
+// compareConfig is one scheme/budget cell of the §6.4 comparison. label
+// is the profile-aggregation handle of the figure the cell belongs to.
+func compareConfig(label string, seed uint64, scheme engine.SchemeName, budget float64, keepSpans bool) engine.Config {
 	return engine.Config{
 		Seed:           seed,
 		Scheme:         scheme,
@@ -22,12 +23,13 @@ func compareConfig(seed uint64, scheme engine.SchemeName, budget float64, keepSp
 		Warmup:         5 * time.Second,
 		Duration:       25 * time.Second,
 		KeepSpans:      keepSpans,
+		ProfLabel:      label,
 	}
 }
 
 // compareRun executes one scheme/budget cell of the §6.4 comparison.
-func compareRun(seed uint64, scheme engine.SchemeName, budget float64, keepSpans bool) *engine.Result {
-	return engine.Run(compareConfig(seed, scheme, budget, keepSpans))
+func compareRun(label string, seed uint64, scheme engine.SchemeName, budget float64, keepSpans bool) *engine.Result {
+	return engine.Run(compareConfig(label, seed, scheme, budget, keepSpans))
 }
 
 // Figure15 reproduces the headline comparison: mean and tail response
@@ -65,7 +67,7 @@ func Figure15(seed uint64) []*metrics.Table {
 			groups = append(groups, group{scheme, fig15Budgets})
 		}
 		perGroup := parMap(groups, func(g group) []map[string]metrics.Summary {
-			donor := engine.Build(compareConfig(seed, g.scheme, g.budgets[0], false))
+			donor := engine.Build(compareConfig("fig15", seed, g.scheme, g.budgets[0], false))
 			return forkEach(donor, g.budgets,
 				func(res *engine.Result, b float64) { res.SetBudgetFraction(b) },
 				func(res *engine.Result, _ float64) map[string]metrics.Summary {
@@ -77,7 +79,7 @@ func Figure15(seed uint64) []*metrics.Table {
 		}
 	} else {
 		summaries = parMap(cells, func(c cell) map[string]metrics.Summary {
-			return regionSummaries(compareRun(seed, c.scheme, c.budget, false))
+			return regionSummaries(compareRun("fig15", seed, c.scheme, c.budget, false))
 		})
 	}
 	base := summaries[0]
@@ -132,7 +134,7 @@ func Figure16(seed uint64) []*metrics.Table {
 	// One run per scheme, fanned out; span extraction stays inside the
 	// worker since it only touches that run's collector.
 	perScheme := parMap(engine.AllSchemes(), func(scheme engine.SchemeName) map[string]dist {
-		res := compareRun(seed, scheme, 0.8, true)
+		res := compareRun("fig16", seed, scheme, 0.8, true)
 		out := make(map[string]dist, len(services))
 		for _, svc := range services {
 			var lat []time.Duration
@@ -186,7 +188,7 @@ func Headline(seed uint64) []*metrics.Table {
 		jobs = append(jobs, job{s, 0.75})
 	}
 	results := parMap(jobs, func(j job) *engine.Result {
-		return compareRun(seed, j.scheme, j.budget, false)
+		return compareRun("headline", seed, j.scheme, j.budget, false)
 	})
 	base, fridgeRes := results[0], results[1]
 

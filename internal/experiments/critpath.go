@@ -48,6 +48,7 @@ func critPathCell(seed uint64, a, b, f float64) *engine.Result {
 		Warmup:    3 * time.Second,
 		Duration:  10 * time.Second,
 		KeepSpans: true,
+		ProfLabel: "ext-critpath",
 	})
 }
 
@@ -177,6 +178,7 @@ func ExportTracesJSON(seed uint64, sampleEvery int, w io.Writer) error {
 		Warmup:         5 * time.Second,
 		Duration:       15 * time.Second,
 		KeepSpans:      true,
+		ProfLabel:      "traces-export",
 	})
 	return trace.WriteZipkin(w, res.Collector.Traces(), trace.ZipkinOptions{SampleEvery: sampleEvery})
 }

@@ -51,6 +51,7 @@ func canonicalRun(seed uint64, tel *telemetry.Telemetry, led *obs.Ledger) (*engi
 		Events:    rec,
 		Telemetry: tel,
 		Ledger:    led,
+		ProfLabel: "canonical",
 	})
 	res.Orch.SetFailurePolicy(orchestrator.FailurePolicy{
 		AutoRestart:  true,

@@ -107,6 +107,7 @@ func calibrated(seed uint64) power.Watts {
 			Seed:        seed,
 			PoolWorkers: studyPools(),
 			Duration:    20 * time.Second,
+			ProfLabel:   "calibrate",
 		})
 	})
 	return e.w

@@ -47,6 +47,7 @@ func ExtScaleOut(seed uint64) []*metrics.Table {
 			PoolWorkers:  map[string]int{"A": loadPer, "B": loadPer},
 			Warmup:       5 * time.Second,
 			Duration:     15 * time.Second,
+			ProfLabel:    "ext-scale",
 		}
 		// Run a configuration with every function service scaled to
 		// workers/4 replicas, so single containers do not bottleneck the
@@ -107,6 +108,7 @@ func ExtOpenLoop(seed uint64) []*metrics.Table {
 		PoolWorkers: studyPools(),
 		Warmup:      5 * time.Second,
 		Duration:    15 * time.Second,
+		ProfLabel:   "ext-openloop",
 	}
 	cal := engine.Run(base)
 	window := cal.Engine.Now().Sub(cal.WarmupEnd).Seconds()
@@ -127,6 +129,7 @@ func ExtOpenLoop(seed uint64) []*metrics.Table {
 			OpenLoopRate:   map[string]float64{"A": rateA, "B": rateB},
 			Warmup:         5 * time.Second,
 			Duration:       20 * time.Second,
+			ProfLabel:      "ext-openloop",
 		})
 	})
 	for i, scheme := range schemes {

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"servicefridge/internal/prof"
+)
+
+// TestFig15PhaseCoverage checks the phase taxonomy is complete enough
+// to be useful: the phase seconds a profiled fig15 regeneration records
+// must cover at least 90% of its measured wall time. Self-time
+// accounting makes each run's phase seconds sum exactly to its
+// top-level scope time, so the only uncovered wall is code outside any
+// scope — table assembly, summary math — which this bound keeps small.
+func TestFig15PhaseCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates fig15 (seconds of wall clock)")
+	}
+	e, ok := ByID("fig15")
+	if !ok {
+		t.Fatal("fig15 not registered")
+	}
+	// Sequential, so concurrent cells cannot overlap and push the phase
+	// sum past wall time, which would make the bound vacuous.
+	prevPar := Parallelism()
+	SetParallelism(1)
+	defer SetParallelism(prevPar)
+	prof.Reset()
+	prof.SetEnabled(true)
+	defer func() {
+		prof.SetEnabled(false)
+		prof.Reset()
+	}()
+
+	start := time.Now()
+	tables := e.Run(1)
+	wall := time.Since(start).Seconds()
+	if len(tables) == 0 || tables[0].NumRows() == 0 {
+		t.Fatal("fig15 produced no data")
+	}
+
+	var covered float64
+	for _, pt := range prof.Totals() {
+		covered += pt.Seconds
+	}
+	if covered < 0.9*wall {
+		t.Fatalf("phase seconds %.3fs cover %.0f%% of the %.3fs fig15 wall, want >= 90%%",
+			covered, 100*covered/wall, wall)
+	}
+	t.Logf("phase seconds %.3fs cover %.0f%% of %.3fs wall", covered, 100*covered/wall, wall)
+}

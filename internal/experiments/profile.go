@@ -21,6 +21,7 @@ func runProfile(seed uint64, spec *app.Spec, region string, n int, freqB cluster
 		Spec:      spec,
 		Scheme:    engine.Baseline,
 		KeepSpans: true,
+		ProfLabel: "profile",
 	}
 	if observed != "" {
 		cfg.PinTo = map[string]string{observed: "serverB"}
@@ -164,6 +165,7 @@ func Figure6(seed uint64) []*metrics.Table {
 			PoolWorkers: map[string]int{"A": workers},
 			Warmup:      3 * time.Second,
 			Duration:    15 * time.Second,
+			ProfLabel:   "fig6",
 		}
 		if c.observed != "" {
 			cfg.PinTo = map[string]string{c.observed: "serverB"}

@@ -10,8 +10,10 @@ package experiments
 // to the sequential path for the same seed regardless of scheduling.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,14 +86,20 @@ type RunResult struct {
 	Err error
 }
 
-// runOne executes one experiment, converting a panic into an error.
+// runOne executes one experiment, converting a panic into an error. The
+// run executes under a pprof "experiment" label, which every goroutine
+// the experiment spawns (the parMap cell workers) inherits — so CPU and
+// goroutine profiles attribute samples per figure even at -parallel N.
 func runOne(e Experiment, seed uint64) (tables []*metrics.Table, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("experiment %s panicked: %v", e.ID, p)
 		}
 	}()
-	return e.Run(seed), nil
+	pprof.Do(context.Background(), pprof.Labels("experiment", e.ID), func(context.Context) {
+		tables = e.Run(seed)
+	})
+	return tables, nil
 }
 
 // RunAll regenerates exps across a worker pool and calls emit exactly once

@@ -38,6 +38,7 @@ func Figure12(seed uint64) []*metrics.Table {
 			PoolWorkers:    mixPools(mx.A, mx.B),
 			Warmup:         5 * time.Second,
 			Duration:       20 * time.Second,
+			ProfLabel:      "fig12",
 		})
 		cells := make(map[string]string, len(app.StudyServiceNames()))
 		for _, svc := range app.StudyServiceNames() {
@@ -85,6 +86,7 @@ func Figure13(seed uint64) []*metrics.Table {
 		Warmup:      5 * time.Second,
 		Duration:    175 * time.Second,
 		TrackFreqOf: tracked,
+		ProfLabel:   "fig13",
 	})
 
 	header := []string{"t (s)", "workers"}
@@ -159,6 +161,7 @@ func Figure14(seed uint64) []*metrics.Table {
 			PoolWorkers:    mixPools(c.a, c.b),
 			Warmup:         5 * time.Second,
 			Duration:       20 * time.Second,
+			ProfLabel:      "fig14",
 		}
 	}
 	var summaries []metrics.Summary

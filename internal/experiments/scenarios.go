@@ -46,6 +46,7 @@ func ExtScenarios(seed uint64) []*metrics.Table {
 			PoolWorkers: pools,
 			Warmup:      warmup,
 			Duration:    measure,
+			ProfLabel:   "ext-scenarios",
 		}
 		// Calibrate: offer 60% of the closed-loop throughput open-loop,
 		// so the uncapped system is stable but an 80% budget visibly
@@ -101,6 +102,7 @@ func ExtScenarios(seed uint64) []*metrics.Table {
 				Profile:        profiles[c.shape],
 				Warmup:         warmup,
 				Duration:       measure,
+				ProfLabel:      "ext-scenarios",
 			})
 			sum := res.Summary("")
 			return []any{c.shape, string(c.scheme), sum.Count, sum.Mean, sum.P95, sum.P99,

@@ -30,6 +30,7 @@ func ExtSLO(seed uint64) []*metrics.Table {
 		PoolWorkers: studyPools(),
 		Warmup:      warmup,
 		Duration:    15 * time.Second,
+		ProfLabel:   "ext-slo",
 	}
 	cal := engine.Run(base)
 	window := cal.Engine.Now().Sub(cal.WarmupEnd).Seconds()
@@ -59,6 +60,7 @@ func ExtSLO(seed uint64) []*metrics.Table {
 			Warmup:         warmup,
 			Duration:       duration,
 			Telemetry:      tel,
+			ProfLabel:      "ext-slo",
 		}
 	}
 	newTel := func() *telemetry.Telemetry {

@@ -22,6 +22,7 @@ import (
 	"servicefridge/internal/core"
 	"servicefridge/internal/obs"
 	"servicefridge/internal/power"
+	"servicefridge/internal/prof"
 	"servicefridge/internal/schemes"
 	"servicefridge/internal/sim"
 	"servicefridge/internal/trace"
@@ -115,6 +116,12 @@ type Fridge struct {
 	ticks      uint64
 	promotions uint64
 	demotions  uint64
+
+	// prof, when non-nil, attributes the control tick's wall time to the
+	// tick phase, with the MCF solve/classification and zone assignment
+	// broken out as sub-phases. The profiler reads the wall clock only:
+	// classification, zoning, and every emitted event are unchanged.
+	prof *prof.Profiler
 }
 
 // New builds a ServiceFridge over the shared scheme context and the
@@ -161,6 +168,10 @@ func init() {
 
 // Name implements schemes.Scheme (Table 3 calls it "ServiceFridge").
 func (f *Fridge) Name() string { return "ServiceFridge" }
+
+// SetProfiler attaches a phase profiler to the control tick (nil
+// detaches). Wired by the engine builder.
+func (f *Fridge) SetProfiler(p *prof.Profiler) { f.prof = p }
 
 // Calculator exposes the MCF calculator (for reports).
 func (f *Fridge) Calculator() *core.Calculator { return f.calc }
@@ -293,6 +304,8 @@ func (f *Fridge) load() map[string]float64 {
 // Tick implements schemes.Scheme: one control interval of the
 // ServiceFridge Controller.
 func (f *Fridge) Tick() {
+	f.prof.Enter(prof.Tick)
+	defer f.prof.Exit()
 	f.ticks++
 	f.counter.Advance()
 	load := f.load()
@@ -305,17 +318,21 @@ func (f *Fridge) Tick() {
 
 	// The FreqMax MCF every placement decision below ranks by, computed
 	// once per tick into a reused map.
+	f.prof.Enter(prof.MCF)
 	f.lastMCF = f.calc.MCFInto(load, cluster.FreqMax, f.lastMCF)
 	f.hasMCF = true
 
 	// 1. Classify from MCF, then apply Algorithm 1 adjustments.
 	base := f.classifier.Classify(load)
+	f.prof.Exit()
 	f.baseLevels = base
 	f.levels = f.applyAdjust(base)
 
 	// 2. Size and assign zones.
+	f.prof.Enter(prof.Zones)
 	f.assignZones()
 	f.recordZones()
+	f.prof.Exit()
 
 	// 3. Migrate services to their zones.
 	if f.MigrateServices {

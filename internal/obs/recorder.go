@@ -1,6 +1,9 @@
 package obs
 
-import "servicefridge/internal/sim"
+import (
+	"servicefridge/internal/prof"
+	"servicefridge/internal/sim"
+)
 
 // DefaultCapacity bounds a recorder's ring buffer when no explicit
 // capacity is given: large enough for the longest experiment run (tens of
@@ -23,6 +26,10 @@ type Recorder struct {
 	seq     uint64
 	dropped uint64
 	ledger  *Ledger // optional emit tee; hashes before ring wraparound
+	// prof, when non-nil, attributes emit cost (record build plus the
+	// ledger fold) to the encode phase. Wall-clock reads only — the
+	// recorded stream is byte-identical with or without it.
+	prof *prof.Profiler
 }
 
 // NewRecorder returns a recorder holding at most capacity events;
@@ -40,6 +47,8 @@ func (r *Recorder) Emit(at sim.Time, ev Event) {
 	if r == nil {
 		return
 	}
+	r.prof.Enter(prof.Encode)
+	defer r.prof.Exit()
 	rec := Record{At: at, Seq: r.seq, Ev: ev}
 	r.seq++
 	if r.ledger != nil {
@@ -72,6 +81,15 @@ func (r *Recorder) SetLedger(l *Ledger) {
 		return
 	}
 	r.ledger = l
+}
+
+// SetProfiler attaches (or detaches, with nil) a phase profiler; emits
+// are then attributed to the encode phase.
+func (r *Recorder) SetProfiler(p *prof.Profiler) {
+	if r == nil {
+		return
+	}
+	r.prof = p
 }
 
 // Dropped returns how many events were overwritten by ring wraparound.

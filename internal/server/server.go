@@ -17,6 +17,7 @@
 //	GET    /sessions/{id}/result  final result document (409 until done)
 //	GET    /sessions/{id}/ledger  hash-chained run ledger as JSONL
 //	GET    /sessions/{id}/explain?t=N  expand sealed tick N: ledger entry + causes
+//	GET    /sessions/{id}/profile phase-level wall-time profile (live)
 //	POST   /sessions/{id}/whatif  fork, perturb, report the delta
 //	POST   /sessions/{id}/cancel  stop advancing (engine stays warm)
 //	DELETE /sessions/{id}         cancel, forget, free the engine
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"servicefridge/internal/experiments"
+	"servicefridge/internal/prof"
 	"servicefridge/internal/telemetry"
 )
 
@@ -99,6 +101,7 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /sessions/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /sessions/{id}/ledger", s.handleLedger)
 	mux.HandleFunc("GET /sessions/{id}/explain", s.handleExplain)
+	mux.HandleFunc("GET /sessions/{id}/profile", s.handleProfile)
 	mux.HandleFunc("POST /sessions/{id}/whatif", s.handleWhatif)
 	mux.HandleFunc("POST /sessions/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
@@ -369,6 +372,23 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	cmd := &explainCmd{tick: tick, reply: make(chan cmdReply, 1)}
 	dispatch(w, r, sess, cmd, cmd.reply, "")
+}
+
+// handleProfile serves the session's phase-level wall-time profile as a
+// single JSON line: seconds, call counts and allocation bytes per
+// simulator phase (build/dispatch/exec/tick/mcf/...). The profiler's
+// accumulators are atomics, so the read is race-free mid-run and never
+// goes through the session goroutine — it works on queued, running and
+// terminal sessions alike.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	prof.WriteProfilerJSON(w, sess.profiler)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

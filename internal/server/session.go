@@ -2,7 +2,9 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +13,7 @@ import (
 	"servicefridge/internal/engine"
 	"servicefridge/internal/experiments"
 	"servicefridge/internal/obs"
+	"servicefridge/internal/prof"
 	"servicefridge/internal/sim"
 	"servicefridge/internal/telemetry"
 )
@@ -57,6 +60,13 @@ type session struct {
 	seq      int // creation order, for stable listings
 	scenario experiments.Scenario
 	tel      *telemetry.Telemetry
+	// profiler is the session's always-on phase profiler (detached, so it
+	// works regardless of the process-wide -profile switch). It is
+	// registered for the lifetime of the session, which folds its phase
+	// seconds into the /metrics fridge_phase_seconds_total family, and
+	// backs GET /sessions/{id}/profile. Its accumulators are atomics, so
+	// handlers read it live without touching the engine.
+	profiler *prof.Profiler
 	srv      *Server
 
 	simNow   atomic.Int64 // engine clock (ns), updated at chunk boundaries
@@ -81,12 +91,14 @@ func newSession(id string, seq int, sc experiments.Scenario, srv *Server) *sessi
 		seq:      seq,
 		scenario: sc,
 		tel:      sc.NewTelemetry(),
+		profiler: prof.NewDetached("session:" + id),
 		srv:      srv,
 		state:    StateQueued,
 		cancel:   make(chan struct{}),
 		gone:     make(chan struct{}),
 		cmds:     make(chan sessionCmd),
 	}
+	prof.Register(s.profiler)
 	s.tel.EnablePublishing()
 	s.simTotal.Store(int64(sc.Warmup() + sc.Duration()))
 	return s
@@ -106,7 +118,16 @@ func (s *session) setState(st State, errMsg string) {
 }
 
 func (s *session) requestCancel() { s.cancelOnce.Do(func() { close(s.cancel) }) }
-func (s *session) markGone()      { s.goneOnce.Do(func() { close(s.gone) }) }
+
+// markGone frees the session: the goroutine exits and the profiler
+// leaves the registry, so evicted sessions stop contributing to the
+// /metrics phase totals.
+func (s *session) markGone() {
+	s.goneOnce.Do(func() {
+		close(s.gone)
+		prof.Unregister(s.profiler)
+	})
+}
 
 // run is the session goroutine: acquire a concurrency slot, build the
 // engine, advance it to completion in chunks (draining what-if commands
@@ -130,6 +151,13 @@ queued:
 		}
 	}
 
+	// The session goroutine owns the engine exclusively, so labelling it
+	// attributes CPU samples (/debug/pprof/profile on the serving mux)
+	// to this session; what-if forks run on this same goroutine and
+	// inherit the label.
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("session", s.id)))
+
 	s.setState(StateRunning, "")
 	cfg, err := s.scenario.Config()
 	var res *engine.Result
@@ -139,9 +167,11 @@ queued:
 		// both are passive (the run is byte-identical with or without
 		// them), and they back GET /ledger and /explain. A done
 		// session's ledger is byte-identical to cmd/fridge -ledger at
-		// the same scenario.
+		// the same scenario. The phase profiler is passive too, and
+		// backs GET /profile.
 		cfg.Events = obs.NewRecorder(0)
 		cfg.Ledger = obs.NewLedger()
+		cfg.Prof = s.profiler
 		res, err = engine.BuildE(cfg)
 	}
 	if err != nil {

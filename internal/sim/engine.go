@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"time"
+
+	"servicefridge/internal/prof"
 )
 
 // Time is a point on the simulation's logical clock, measured as nanoseconds
@@ -78,6 +80,13 @@ type Engine struct {
 	// freelist, so steady-state timer churn allocates nothing.
 	timers     []timerState
 	freeTimers []int32
+
+	// prof, when non-nil, attributes the run loop's wall time to the
+	// dispatch phase. The profiler only reads the wall clock — it never
+	// touches the calendar, the logical clock, or the RNG — and it is
+	// not part of the engine's snapshot state, so profiled runs stay
+	// byte-identical to unprofiled ones.
+	prof *prof.Profiler
 }
 
 // NewEngine returns an engine whose clock starts at 0 and whose root RNG is
@@ -95,6 +104,15 @@ func (e *Engine) RNG() *RNG { return e.rng }
 
 // Processed reports how many events have executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// SetProfiler attaches a phase profiler to the engine's run loop (nil
+// detaches). Dispatch scopes open around Run/RunUntil, so calendar cost
+// and any handler work not claimed by a finer-grained phase accrue to
+// the dispatch phase as self time.
+func (e *Engine) SetProfiler(p *prof.Profiler) { e.prof = p }
+
+// Profiler returns the attached phase profiler (nil when unprofiled).
+func (e *Engine) Profiler() *prof.Profiler { return e.prof }
 
 // Grow pre-allocates calendar capacity for at least n pending events, so a
 // run with a known event population never reallocates the heap slice.
@@ -304,20 +322,24 @@ func (e *Engine) Step() bool {
 
 // Run executes events until the calendar is empty.
 func (e *Engine) Run() {
+	e.prof.Enter(prof.Dispatch)
 	for e.Step() {
 	}
+	e.prof.Exit()
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock exactly to deadline. Events scheduled beyond the deadline remain
 // queued, so a run can be resumed.
 func (e *Engine) RunUntil(deadline Time) {
+	e.prof.Enter(prof.Dispatch)
 	for len(e.events) > 0 && e.events[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
+	e.prof.Exit()
 }
 
 // RunFor advances the simulation by d.

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"servicefridge/internal/prof"
+)
+
+// Process-level self-observability for the serving CLI: Go runtime
+// health (goroutines, heap, GC), the binary's build identity, and the
+// simulator's own per-phase seconds, appended to the /metrics document
+// after the snapshot-derived families. Everything here reads process
+// state — never the simulation — so scraping stays passive. The one
+// global effect is runtime.ReadMemStats's brief stop-the-world, which
+// costs wall-clock only; simulated time and outputs are unaffected.
+
+// buildDoc is the binary's build identity: the VCS revision stamped by
+// the Go toolchain (or "unknown" under `go test` and non-VCS builds),
+// whether the working tree was dirty, and the Go toolchain version. It
+// appears as the fridge_build_info labels and the /status build block.
+type buildDoc struct {
+	Revision  string `json:"revision"`
+	Modified  bool   `json:"modified,omitempty"`
+	GoVersion string `json:"go_version"`
+}
+
+var (
+	buildOnce   sync.Once
+	buildCached buildDoc
+)
+
+// currentBuild reads the build identity once (debug.ReadBuildInfo walks
+// the embedded module data, so the result is cached for the process).
+func currentBuild() buildDoc {
+	buildOnce.Do(func() {
+		buildCached = buildDoc{Revision: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.GoVersion != "" {
+			buildCached.GoVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if s.Value != "" {
+					buildCached.Revision = s.Value
+				}
+			case "vcs.modified":
+				buildCached.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildCached
+}
+
+// WriteProcessMetricsTo appends the process-level families — build
+// identity, Go runtime metrics, and the simulator's per-phase seconds —
+// to an exposition document (conventionally right after WriteMetricsTo).
+// The phase counters come from prof.Totals(), which is monotone
+// non-decreasing, as Prometheus counters require.
+func WriteProcessMetricsTo(buf *bytes.Buffer) {
+	p := &promWriter{buf: buf, headed: map[string]bool{}}
+
+	b := currentBuild()
+	modified := "false"
+	if b.Modified {
+		modified = "true"
+	}
+	p.gauge("fridge_build_info",
+		"Build identity of the serving binary (constant 1; the labels carry the information).",
+		1, "revision", b.Revision, "go_version", b.GoVersion, "modified", modified)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.gauge("go_goroutines", "Number of goroutines that currently exist.",
+		float64(runtime.NumGoroutine()))
+	p.gauge("go_sched_gomaxprocs_threads", "GOMAXPROCS: simultaneously executing OS threads.",
+		float64(runtime.GOMAXPROCS(0)))
+	p.gauge("go_memstats_heap_alloc_bytes", "Heap bytes allocated and still in use.",
+		float64(ms.HeapAlloc))
+	p.gauge("go_memstats_heap_sys_bytes", "Heap bytes obtained from the OS.",
+		float64(ms.HeapSys))
+	p.counter("go_memstats_alloc_bytes_total", "Cumulative bytes allocated on the heap.",
+		float64(ms.TotalAlloc))
+	p.counter("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	p.counter("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		float64(ms.PauseTotalNs)/1e9)
+
+	totals := prof.Totals()
+	for _, t := range totals {
+		p.counter("fridge_phase_seconds_total",
+			"Wall-clock seconds attributed to each simulator phase (see internal/prof).",
+			t.Seconds, "phase", t.Phase.String())
+	}
+	for _, t := range totals {
+		p.counter("fridge_phase_calls_total",
+			"Scope entries per simulator phase.",
+			float64(t.Count), "phase", t.Phase.String())
+	}
+}

@@ -116,21 +116,23 @@ func (t *Telemetry) PublishedSince(seq uint64) ([]*Snapshot, uint64) {
 func (t *Telemetry) LoadSnapshot() *Snapshot { return t.pub.snap.Load() }
 
 // Register mounts the live-telemetry routes on mux: Prometheus
-// text-format /metrics, a JSON /status snapshot, and /healthz. Built on
-// the published snapshot only — handlers never touch the running
-// simulation. Callers composing a larger surface (the control plane in
-// internal/server) register onto their own mux; NewHandler remains for
-// a telemetry-only server.
+// text-format /metrics (snapshot-derived families plus the process-level
+// go_*/build/phase families), a JSON /status snapshot with a build
+// block, and /healthz. Built on the published snapshot and process state
+// only — handlers never touch the running simulation. Callers composing
+// a larger surface (the control plane in internal/server) register onto
+// their own mux; NewHandler remains for a telemetry-only server.
 func Register(mux *http.ServeMux, t *Telemetry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		var buf bytes.Buffer
 		WriteMetricsTo(&buf, t.LoadSnapshot())
+		WriteProcessMetricsTo(&buf)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.Write(buf.Bytes())
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		WriteStatusTo(w, t.LoadSnapshot())
+		writeStatusWithBuild(w, t.LoadSnapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -292,6 +294,11 @@ type statusZone struct {
 }
 
 type statusDoc struct {
+	// Build identifies the serving binary. Set only on the /status
+	// endpoint — session stream lines omit it (constant per process, it
+	// would be pure repetition there), which also keeps streamed bytes a
+	// function of the snapshot alone.
+	Build      *buildDoc          `json:"build,omitempty"`
 	Scheme     string             `json:"scheme"`
 	SimSeconds float64            `json:"sim_seconds"`
 	PowerW     *float64           `json:"power_w,omitempty"`
@@ -319,12 +326,32 @@ type statusDoc struct {
 // by the struct and map keys are sorted by encoding/json, making the
 // bytes a deterministic function of the snapshot.
 func WriteStatusTo(w io.Writer, snap *Snapshot) error {
+	return writeStatus(w, snap, nil)
+}
+
+// writeStatusWithBuild is WriteStatusTo plus the build block — the
+// /status endpoint's variant.
+func writeStatusWithBuild(w io.Writer, snap *Snapshot) error {
+	b := currentBuild()
+	return writeStatus(w, snap, &b)
+}
+
+func writeStatus(w io.Writer, snap *Snapshot, build *buildDoc) error {
 	if snap == nil {
+		// Keep the build block even before the first snapshot (a
+		// headless -serve control plane may never publish one).
+		if build != nil {
+			return json.NewEncoder(w).Encode(struct {
+				Build  *buildDoc `json:"build"`
+				Status string    `json:"status"`
+			}{build, "no snapshot yet"})
+		}
 		_, err := w.Write([]byte(`{"status":"no snapshot yet"}` + "\n"))
 		return err
 	}
 	s := &snap.Sample
 	doc := statusDoc{
+		Build:          build,
 		Scheme:         snap.Scheme,
 		SimSeconds:     secs(time.Duration(snap.At)),
 		SLO:            snap.SLO,

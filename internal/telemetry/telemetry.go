@@ -21,6 +21,7 @@ import (
 
 	"servicefridge/internal/metrics"
 	"servicefridge/internal/obs"
+	"servicefridge/internal/prof"
 	"servicefridge/internal/sim"
 )
 
@@ -249,6 +250,11 @@ type Telemetry struct {
 	publishing bool
 	pub        publisher
 
+	// prof, when non-nil, attributes each sampling tick's wall time to
+	// the telemetry phase. Purely observational: it reads the wall clock
+	// only, so profiled and unprofiled samples are byte-identical.
+	prof *prof.Profiler
+
 	// Scratch for the fused quantile walk (p50/p95/p99 + watched).
 	qbuf [4]float64
 	dbuf [4]time.Duration
@@ -264,6 +270,10 @@ func New(opt Options) *Telemetry {
 
 // Interval returns the sampling period (for the engine's Every wiring).
 func (t *Telemetry) Interval() time.Duration { return t.opt.Interval }
+
+// SetProfiler attaches a phase profiler to the sampling tick (nil
+// detaches). Wired by the engine builder alongside Bind.
+func (t *Telemetry) SetProfiler(p *prof.Profiler) { t.prof = p }
 
 // Alerts returns the recorder carrying the monitor's QoSViolation,
 // QoSRecovered and BudgetHeadroomLow events. It is owned by the
@@ -368,6 +378,8 @@ func (t *Telemetry) fillSeries(st *SeriesStats, w *metrics.WindowedHistogram) {
 // callback and the package's allocation-free hot path; only opt-in
 // snapshot publication (EnablePublishing) allocates.
 func (t *Telemetry) Sample() {
+	t.prof.Enter(prof.Telemetry)
+	defer t.prof.Exit()
 	now := t.b.Now()
 	row := t.nextRow()
 	row.At = now
